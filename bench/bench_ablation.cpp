@@ -1,0 +1,125 @@
+// Ablation study of the design choices called out in DESIGN.md section 7:
+//   (a) NARX dynamic order r of the driver submodels,
+//   (b) basis budget of the OLS selection,
+//   (c) two-load weight identification vs the complementary-weight
+//       shortcut (w_L = 1 - w_H), and
+//   (d) section count of the lossy coupled-line cascade.
+// Each row reports the Figure-1-style closed-loop accuracy produced by
+// that variant, so the contribution of every mechanism is visible.
+#include <cstdio>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/tline.hpp"
+#include "core/circuit_dut.hpp"
+#include "core/driver_device.hpp"
+#include "core/driver_estimator.hpp"
+#include "core/validation.hpp"
+#include "devices/reference_driver.hpp"
+#include "experiments.hpp"
+#include "signal/sources.hpp"
+
+using namespace emc;
+
+namespace {
+
+sig::Waveform fig1_load_run(const dev::DriverTech& tech,
+                            const core::PwRbfDriverModel* model) {
+  ckt::Circuit c;
+  const int pad = c.node();
+  const int far = c.node();
+  c.add<ckt::IdealLine>(pad, c.ground(), far, c.ground(), 50.0, 0.5e-9);
+  c.add<ckt::Capacitor>(far, c.ground(), 10e-12);
+  if (model) {
+    c.add<core::DriverDevice>(pad, *model, "01", 2e-9);
+  } else {
+    auto pattern = sig::bit_stream("01", 2e-9, 0.1e-9, 0.0, tech.vdd);
+    auto inst =
+        dev::build_reference_driver(c, tech, [pattern](double t) { return pattern(t); });
+    c.add<ckt::Resistor>(inst.pad, pad, 1e-3);
+  }
+  ckt::TransientOptions opt;
+  opt.dt = exp::kTs;
+  opt.t_stop = 12e-9;
+  return ckt::run_transient(c, opt).waveform(pad);
+}
+
+void report(const char* label, const sig::Waveform& ref, const sig::Waveform& v) {
+  const auto rep = core::validate_waveform(label, ref, v, 1.65, 0.2e-9);
+  std::printf("%-34s %9.2f%% %10.4f %12.2f\n", label, rep.rel_rms * 100.0, rep.max_error,
+              rep.edge_timing_error ? *rep.edge_timing_error * 1e12 : -1.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations (Figure-1 closed loop, MD1) ===\n");
+  const auto tech = dev::DriverTech::md1_lvc244();
+  core::CircuitDriverDut dut(tech);
+  const auto ref = fig1_load_run(tech, nullptr);
+
+  std::printf("\n%-34s %10s %10s %12s\n", "variant", "rel rms", "max [V]", "edge [ps]");
+
+  // (a) dynamic order sweep.
+  for (int order : {1, 2, 3}) {
+    core::DriverEstimationOptions opt;
+    opt.order = order;
+    const auto model = core::estimate_driver_model(dut, opt);
+    char label[64];
+    std::snprintf(label, sizeof label, "(a) NARX order r = %d", order);
+    report(label, ref, fig1_load_run(tech, &model));
+  }
+
+  // (b) basis budget sweep (selection may stop earlier).
+  for (int nb : {8, 16, 26}) {
+    core::DriverEstimationOptions opt;
+    opt.max_basis_high = nb;
+    opt.max_basis_low = nb;
+    const auto model = core::estimate_driver_model(dut, opt);
+    char label[64];
+    std::snprintf(label, sizeof label, "(b) basis budget = %d", nb);
+    report(label, ref, fig1_load_run(tech, &model));
+  }
+
+  // (c) two-load inversion vs the complementary-weight shortcut.
+  {
+    core::DriverEstimationOptions opt;
+    auto model = core::estimate_driver_model(dut, opt);
+    report("(c) two-load weights (paper)", ref, fig1_load_run(tech, &model));
+
+    core::PwRbfDriverModel complementary = model;
+    for (std::size_t k = 0; k < complementary.up.size(); ++k)
+      complementary.up.wl[k] = 1.0 - complementary.up.wh[k];
+    for (std::size_t k = 0; k < complementary.down.size(); ++k)
+      complementary.down.wl[k] = 1.0 - complementary.down.wh[k];
+    report("(c) complementary wl = 1 - wh", ref, fig1_load_run(tech, &complementary));
+  }
+
+  // (d) coupled-line section count: far-end crosstalk peak convergence.
+  std::printf("\n(d) lossy-line cascade sections (quiet-land crosstalk peak):\n");
+  for (int sections : {2, 4, 8}) {
+    ckt::Circuit c;
+    const int src = c.node();
+    const int a1 = c.node();
+    const int a2 = c.node();
+    const int b1 = c.node();
+    const int b2 = c.node();
+    sig::Pwl step({{0.0, 0.0}, {0.5e-9, 0.0}, {0.7e-9, 2.5}});
+    c.add<ckt::VSource>(src, c.ground(), [step](double t) { return step(t); });
+    c.add<ckt::Resistor>(src, a1, 25.0);
+    c.add<ckt::Resistor>(a2, c.ground(), 25.0);
+    add_coupled_lossy_line(c, {a1, a2}, {b1, b2}, exp::mcm_fig3_params(), exp::kTs,
+                           sections);
+    c.add<ckt::Capacitor>(b1, c.ground(), 1e-12);
+    c.add<ckt::Capacitor>(b2, c.ground(), 1e-12);
+    ckt::TransientOptions opt;
+    opt.dt = exp::kTs;
+    opt.t_stop = 6e-9;
+    auto res = ckt::run_transient(c, opt);
+    const auto v22 = res.waveform(b2);
+    std::printf("    sections = %d: peak %+7.1f / %7.1f mV\n", sections,
+                v22.max_value() * 1e3, v22.min_value() * 1e3);
+  }
+  return 0;
+}

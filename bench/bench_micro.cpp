@@ -1,0 +1,130 @@
+// Microbenchmarks of the substrate: they explain where the Table 1 CPU
+// time goes (dense MNA solves vs device evaluation) and quantify the cost
+// of the macromodel primitives (RBF evaluation, OLS estimation).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/devices_nonlinear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+#include "ident/rbf.hpp"
+#include "linalg/decomp.hpp"
+#include "signal/sources.hpp"
+
+namespace {
+
+using namespace emc;
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix a(n, n);
+  sig::Lcg rng(7);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform() - 0.5;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    auto x = linalg::LuFactor(a).solve(b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+
+void BM_RbfEval(benchmark::State& state) {
+  const auto nb = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 5;  // order-2 NARX regressor
+  ident::Scaler sc(std::vector<double>(dim, 0.0), std::vector<double>(dim, 1.0));
+  linalg::Matrix centers(nb, dim);
+  std::vector<double> w(nb, 0.1);
+  sig::Lcg rng(3);
+  for (std::size_t j = 0; j < nb; ++j)
+    for (std::size_t k = 0; k < dim; ++k) centers(j, k) = rng.uniform() * 2.0 - 1.0;
+  ident::RbfModel m(sc, centers, w, 0.0, 1.5);
+
+  std::vector<double> x(dim, 0.3);
+  for (auto _ : state) {
+    double g = 0.0;
+    const double y = m.eval_with_grad(x, 0, &g);
+    benchmark::DoNotOptimize(y);
+    benchmark::DoNotOptimize(g);
+  }
+}
+
+void BM_TransientRcLadder(benchmark::State& state) {
+  // Cost per simulated nanosecond of a linear ladder with n sections.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ckt::Circuit c;
+    sig::Pwl step({{0.0, 0.0}, {0.1e-9, 1.0}});
+    int prev = c.node();
+    c.add<ckt::VSource>(prev, c.ground(), [step](double t) { return step(t); });
+    for (int k = 0; k < n; ++k) {
+      const int nxt = c.node();
+      c.add<ckt::Resistor>(prev, nxt, 10.0);
+      c.add<ckt::Capacitor>(nxt, c.ground(), 1e-12);
+      prev = nxt;
+    }
+    ckt::TransientOptions opt;
+    opt.dt = 25e-12;
+    opt.t_stop = 1e-9;
+    auto res = ckt::run_transient(c, opt);
+    benchmark::DoNotOptimize(res);
+  }
+}
+
+void BM_TransientCmosInverter(benchmark::State& state) {
+  // Nonlinear Newton cost: one switching CMOS stage per step.
+  for (auto _ : state) {
+    ckt::Circuit c;
+    const int vdd = c.node();
+    const int in = c.node();
+    const int out = c.node();
+    c.add<ckt::VSource>(vdd, c.ground(), 2.5);
+    auto bits = sig::bit_stream("0101", 1e-9, 0.1e-9, 0.0, 2.5);
+    c.add<ckt::VSource>(in, c.ground(), [bits](double t) { return bits(t); });
+    ckt::MosParams pn;
+    pn.vt0 = 0.5;
+    ckt::MosParams pp;
+    pp.type = ckt::MosType::Pmos;
+    pp.vt0 = 0.5;
+    pp.w = 25e-6;
+    c.add<ckt::Mosfet>(out, in, c.ground(), pn);
+    c.add<ckt::Mosfet>(out, in, vdd, pp);
+    c.add<ckt::Capacitor>(out, c.ground(), 50e-15);
+    ckt::TransientOptions opt;
+    opt.dt = 25e-12;
+    opt.t_stop = 4e-9;
+    auto res = ckt::run_transient(c, opt);
+    benchmark::DoNotOptimize(res);
+  }
+}
+
+void BM_OlsFit(benchmark::State& state) {
+  // RBF estimation cost on a synthetic NARX dataset (the per-model cost of
+  // the paper's "low cost of generation" claim).
+  const std::size_t n = 4000;
+  linalg::Matrix x(n, 5);
+  std::vector<double> y(n);
+  sig::Lcg rng(11);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t cidx = 0; cidx < 5; ++cidx) x(r, cidx) = rng.uniform() * 4.0 - 2.0;
+    y[r] = std::tanh(x(r, 0)) + 0.2 * x(r, 3);
+  }
+  ident::RbfFitOptions opt;
+  opt.max_basis = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto m = ident::fit_rbf_ols(x, y, opt);
+    benchmark::DoNotOptimize(m);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DenseLuSolve)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_RbfEval)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_TransientRcLadder)->Arg(8)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TransientCmosInverter)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OlsFit)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

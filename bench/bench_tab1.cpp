@@ -1,0 +1,61 @@
+// Table 1 reproduction: CPU time of simulating the Fig. 3 coupled
+// structure with transistor-level drivers vs PW-RBF macromodels (plus the
+// model's stand-alone discrete-time fast path as an extra row). The paper
+// reports > 20x speedup from macromodels; the exact magnitude depends on
+// how detailed the transistor netlist is — see EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "experiments.hpp"
+
+namespace {
+
+// Estimated once; estimation cost is reported as its own benchmark.
+const emc::core::PwRbfDriverModel& md3_model() {
+  static const auto model =
+      emc::exp::make_driver_model(emc::dev::DriverTech::md3_ibm25(), "MD3");
+  return model;
+}
+
+void BM_Tab1_TransistorLevel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto curves = emc::exp::run_fig4(false, 15e-9);
+    benchmark::DoNotOptimize(curves.v21_reference);
+  }
+}
+
+void BM_Tab1_PwRbfMacromodel(benchmark::State& state) {
+  (void)md3_model();  // exclude estimation from the timed region
+  for (auto _ : state) {
+    auto curves = emc::exp::run_fig4(true, 15e-9);
+    benchmark::DoNotOptimize(curves.v21_pwrbf);
+  }
+}
+
+void BM_Tab1_ModelEstimationCost(benchmark::State& state) {
+  // The paper: "some ten seconds on a Pentium-II @ 350 MHz".
+  for (auto _ : state) {
+    auto model =
+        emc::exp::make_driver_model(emc::dev::DriverTech::md3_ibm25(), "MD3-est");
+    benchmark::DoNotOptimize(model);
+  }
+}
+
+void BM_Tab1_StandaloneDiscreteTime(benchmark::State& state) {
+  // The macromodel outside the MNA solver (Thevenin load fast path):
+  // this is the regime where behavioral models shine the most.
+  const auto& model = md3_model();
+  for (auto _ : state) {
+    auto v = emc::core::simulate_driver_on_thevenin(
+        model, "011011101010000", 1e-9, [](double) { return 0.0; }, 50.0, 15e-9);
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Tab1_TransistorLevel)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Tab1_PwRbfMacromodel)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Tab1_ModelEstimationCost)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Tab1_StandaloneDiscreteTime)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Shared experiment builders for the paper-reproduction benches: device
+// presets, the Fig. 3 coupled interconnect, and runners that produce the
+// reference / macromodel / IBIS waveforms for every validation setup.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/tline.hpp"
+#include "core/circuit_dut.hpp"
+#include "core/driver_estimator.hpp"
+#include "core/receiver_estimator.hpp"
+#include "devices/reference_driver.hpp"
+#include "devices/reference_receiver.hpp"
+#include "ibis/extract.hpp"
+#include "signal/waveform.hpp"
+
+namespace emc::exp {
+
+inline constexpr double kTs = 25e-12;  ///< paper sampling time
+
+/// Estimate the PW-RBF model of a driver technology (cached per process).
+core::PwRbfDriverModel make_driver_model(const dev::DriverTech& tech,
+                                         const std::string& name);
+
+/// Estimate the receiver models of MD4.
+core::ParametricReceiverModel make_receiver_model();
+core::CrReceiverModel make_cr_model();
+
+/// Fig. 3 coupled on-MCM interconnect (parameters reconstructed in
+/// DESIGN.md section 6).
+ckt::CoupledLineParams mcm_fig3_params();
+
+/// Fig. 1: MD1 driving an ideal line (50 ohm / 0.5 ns) with a 10 pF far
+/// capacitor, bit pattern "01"; near-end voltage.
+struct Fig1Curves {
+  sig::Waveform reference;
+  sig::Waveform pwrbf;
+  sig::Waveform ibis_slow, ibis_typical, ibis_fast;
+};
+Fig1Curves run_fig1();
+
+/// Fig. 2: MD2 driving three ideal lines with a 1 ns "010" pulse; far-end
+/// voltages, 1 pF terminations.
+struct Fig2Panel {
+  double z0;
+  double td;
+  sig::Waveform reference;
+  sig::Waveform pwrbf;
+};
+std::vector<Fig2Panel> run_fig2();
+
+/// Fig. 4: two MD3 drivers on the Fig. 3 structure; far-end voltages of
+/// the active (v21) and quiet (v22) lands.
+struct Fig4Curves {
+  sig::Waveform v21_reference, v21_pwrbf;
+  sig::Waveform v22_reference, v22_pwrbf;
+};
+Fig4Curves run_fig4(bool use_model_drivers, double t_stop = 30e-9);
+Fig4Curves run_fig4_both(double t_stop = 30e-9);
+
+/// Fig. 5: MD4 receiver driven through 10 ohm by a 1 V / 100 ps trapezoid;
+/// pin current for reference / parametric / C-R models.
+struct Fig5Curves {
+  sig::Waveform i_reference, i_parametric, i_cr;
+};
+Fig5Curves run_fig5();
+
+/// Fig. 6: MD4 at the end of a 10 cm lossy line driven through 50 ohm by a
+/// 3 ns pulse with 100 ps edges; pin voltage per amplitude.
+struct Fig6Panel {
+  double amplitude;
+  sig::Waveform v_reference, v_parametric, v_cr;
+};
+std::vector<Fig6Panel> run_fig6();
+
+}  // namespace emc::exp

@@ -1,0 +1,116 @@
+// Device / stamp interface of the MNA transient engine.
+//
+// Conventions
+// -----------
+// * Terminal ids live in one id space: id 0 is ground, ids 1..n-1 are
+//   circuit nodes, ids >= n are engine-assigned extra unknowns (branch
+//   currents of voltage sources / inductors). Unknown vector index of a
+//   non-ground id is (id - 1).
+// * Rows of the MNA system are "sum of currents leaving the node = 0";
+//   G x = rhs after moving constants to the right-hand side.
+// * Transient integration is trapezoidal with a fixed step (the step is
+//   locked to the macromodel sampling time Ts, which is how discrete-time
+//   behavioral models are coupled to the analog solver).
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace emc::ckt {
+
+/// Snapshot handed to devices during stamping / commit.
+struct SimState {
+  std::span<const double> x;       ///< candidate solution (unknown space)
+  std::span<const double> x_prev;  ///< accepted solution of the previous step
+  double t = 0.0;                  ///< time of the step being solved
+  double dt = 0.0;                 ///< fixed step (0 during DC)
+  bool dc = false;                 ///< true while solving the operating point
+  double src_scale = 1.0;          ///< source-stepping continuation factor
+
+  double v(int id) const { return id == 0 ? 0.0 : x[static_cast<std::size_t>(id) - 1]; }
+  double v_prev(int id) const {
+    return id == 0 ? 0.0 : x_prev[static_cast<std::size_t>(id) - 1];
+  }
+};
+
+/// Assembles the linearized MNA system; devices talk only to this.
+class Stamper {
+ public:
+  Stamper(linalg::Matrix& g, std::span<double> rhs) : g_(g), rhs_(rhs) {}
+
+  /// G[row][col] += val (ground rows/columns are dropped).
+  void g(int row_id, int col_id, double val) {
+    if (row_id == 0 || col_id == 0) return;
+    g_(static_cast<std::size_t>(row_id) - 1, static_cast<std::size_t>(col_id) - 1) += val;
+  }
+
+  /// rhs[row] += val.
+  void rhs(int row_id, double val) {
+    if (row_id == 0) return;
+    rhs_[static_cast<std::size_t>(row_id) - 1] += val;
+  }
+
+  /// Two-terminal conductance between a and b.
+  void conductance(int a, int b, double gval) {
+    g(a, a, gval);
+    g(b, b, gval);
+    g(a, b, -gval);
+    g(b, a, -gval);
+  }
+
+  /// Independent current source of value i flowing from a to b.
+  void current_source(int a, int b, double i) {
+    rhs(a, -i);
+    rhs(b, i);
+  }
+
+  /// Linearized nonlinear branch current i(v), v = v(a)-v(b), around
+  /// operating point (v0, i0) with conductance g0 = di/dv|v0.
+  void nonlinear_current(int a, int b, double i0, double g0, double v0) {
+    conductance(a, b, g0);
+    current_source(a, b, i0 - g0 * v0);
+  }
+
+ private:
+  linalg::Matrix& g_;
+  std::span<double> rhs_;
+};
+
+/// Base class of all circuit elements.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Number of extra (branch-current) unknowns this device needs.
+  virtual int num_extra() const { return 0; }
+
+  /// Engine assigns the first extra unknown id before any analysis.
+  void set_extra_base(int id) { extra_base_ = id; }
+  int extra_base() const { return extra_base_; }
+
+  /// True if the stamp depends on the candidate solution x.
+  virtual bool nonlinear() const { return false; }
+
+  /// Called once per time step before the Newton loop; history-dependent
+  /// companion terms are computed here (x in `st` is the previous solution).
+  virtual void start_step(const SimState& st) { (void)st; }
+
+  /// Contribute the (linearized) stamp for the current Newton candidate.
+  virtual void stamp(Stamper& s, const SimState& st) = 0;
+
+  /// Accept the step: update internal history from the solved state.
+  virtual void commit(const SimState& st) { (void)st; }
+
+  /// Reset all history (called when a new analysis begins).
+  virtual void reset() {}
+
+  /// Called once after the DC operating point converged, so devices with
+  /// memory (lines, capacitors) can seed their history consistently.
+  virtual void post_dc(const SimState& st) { (void)st; }
+
+ protected:
+  int extra_base_ = -1;
+};
+
+}  // namespace emc::ckt

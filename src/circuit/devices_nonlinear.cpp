@@ -1,0 +1,104 @@
+#include "circuit/devices_nonlinear.hpp"
+
+#include <cmath>
+
+namespace emc::ckt {
+
+Diode::Diode(int a, int b, DiodeParams p) : a_(a), b_(b), p_(p) {}
+
+std::pair<double, double> Diode::eval(double v) const {
+  const double nvt = p_.n * p_.vt;
+  const double vmax = 40.0 * nvt;  // beyond this, linearize the exponential
+  double i, g;
+  if (v <= vmax) {
+    const double e = std::exp(v / nvt);
+    i = p_.is * (e - 1.0);
+    g = p_.is * e / nvt;
+  } else {
+    const double e = std::exp(40.0);
+    const double g0 = p_.is * e / nvt;
+    i = p_.is * (e - 1.0) + g0 * (v - vmax);
+    g = g0;
+  }
+  return {i + p_.gmin * v, g + p_.gmin};
+}
+
+void Diode::stamp(Stamper& s, const SimState& st) {
+  const double v = st.v(a_) - st.v(b_);
+  const auto [i, g] = eval(v);
+  s.nonlinear_current(a_, b_, i, g, v);
+}
+
+Mosfet::Mosfet(int d, int g, int s, MosParams p) : d_(d), g_(g), s_(s), p_(p) {}
+
+Mosfet::OpPoint Mosfet::eval_normalized(double vgs, double vds) const {
+  // NMOS-normalized quantities: vds >= 0 guaranteed by the caller.
+  const double beta = p_.beta();
+  const double vov = vgs - p_.vt0;
+  OpPoint op{0.0, 0.0, 0.0};
+  if (vov <= 0.0) {
+    // Cut-off; leave a tiny conductance to keep Newton moving.
+    op.gds = 1e-12;
+    return op;
+  }
+  const double clm = 1.0 + p_.lambda * vds;
+  if (vds < vov) {
+    // Triode region.
+    op.id = beta * (vov * vds - 0.5 * vds * vds) * clm;
+    op.gm = beta * vds * clm;
+    op.gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * p_.lambda;
+  } else {
+    // Saturation.
+    op.id = 0.5 * beta * vov * vov * clm;
+    op.gm = beta * vov * clm;
+    op.gds = 0.5 * beta * vov * vov * p_.lambda;
+  }
+  return op;
+}
+
+double Mosfet::drain_current(double vd, double vg, double vs) const {
+  const double sign = (p_.type == MosType::Nmos) ? 1.0 : -1.0;
+  double vde = vd, vse = vs;
+  bool swapped = false;
+  if (sign * (vde - vse) < 0.0) {
+    std::swap(vde, vse);
+    swapped = true;
+  }
+  const double vgs = sign * (vg - vse);
+  const double vds = sign * (vde - vse);
+  const OpPoint op = eval_normalized(vgs, vds);
+  const double ide = sign * op.id;  // current into effective drain
+  return swapped ? -ide : ide;
+}
+
+void Mosfet::stamp(Stamper& s, const SimState& st) {
+  const double sign = (p_.type == MosType::Nmos) ? 1.0 : -1.0;
+  int de = d_, se = s_;
+  if (sign * (st.v(d_) - st.v(s_)) < 0.0) std::swap(de, se);
+
+  const double vde = st.v(de);
+  const double vse = st.v(se);
+  const double vg = st.v(g_);
+  const double vgs = sign * (vg - vse);
+  const double vds = sign * (vde - vse);
+  const OpPoint op = eval_normalized(vgs, vds);
+
+  // Current into the effective drain: i = sign*id(vgs, vds).
+  // d i / d v(g)  = gm, d i / d v(de) = gds, d i / d v(se) = -(gm+gds)
+  // (the sign^2 factors cancel).
+  const double i0 = sign * op.id;
+  const double ieq = i0 - op.gm * vg - op.gds * vde + (op.gm + op.gds) * vse;
+
+  // KCL: i leaves node de (through the channel) and enters node se.
+  s.g(de, g_, op.gm);
+  s.g(de, de, op.gds);
+  s.g(de, se, -(op.gm + op.gds));
+  s.rhs(de, -ieq);
+
+  s.g(se, g_, -op.gm);
+  s.g(se, de, -op.gds);
+  s.g(se, se, op.gm + op.gds);
+  s.rhs(se, ieq);
+}
+
+}  // namespace emc::ckt

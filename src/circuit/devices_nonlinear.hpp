@@ -1,0 +1,69 @@
+// Nonlinear semiconductor primitives used by the reference ("transistor
+// level") models: junction diode and level-1 (Shichman-Hodges) MOSFET.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace emc::ckt {
+
+struct DiodeParams {
+  double is = 1e-14;   ///< saturation current [A]
+  double n = 1.0;      ///< emission coefficient
+  double vt = 0.02585; ///< thermal voltage [V]
+  double gmin = 1e-12; ///< parallel leakage keeping the Jacobian regular
+};
+
+/// Junction diode, anode a -> cathode b.
+class Diode : public Device {
+ public:
+  Diode(int a, int b, DiodeParams p = {});
+  bool nonlinear() const override { return true; }
+  void stamp(Stamper& s, const SimState& st) override;
+
+  /// Exponential i(v) and slope with overflow-safe linearization above
+  /// the internal critical voltage.
+  std::pair<double, double> eval(double v) const;
+
+ private:
+  int a_, b_;
+  DiodeParams p_;
+};
+
+enum class MosType { Nmos, Pmos };
+
+struct MosParams {
+  MosType type = MosType::Nmos;
+  double kp = 100e-6;   ///< process transconductance [A/V^2]
+  double vt0 = 0.5;     ///< threshold voltage magnitude [V]
+  double lambda = 0.05; ///< channel-length modulation [1/V]
+  double w = 10e-6;     ///< channel width [m]
+  double l = 0.5e-6;    ///< channel length [m]
+
+  double beta() const { return kp * w / l; }
+};
+
+/// Level-1 MOSFET (drain, gate, source; bulk tied to source). Symmetric:
+/// drain/source roles swap automatically when vds changes sign.
+class Mosfet : public Device {
+ public:
+  Mosfet(int d, int g, int s, MosParams p);
+  bool nonlinear() const override { return true; }
+  void stamp(Stamper& s, const SimState& st) override;
+
+  /// Drain current into the drain terminal for the given node voltages
+  /// (sign convention of the device type). Exposed for unit tests.
+  double drain_current(double vd, double vg, double vs) const;
+
+ private:
+  struct OpPoint {
+    double id;   // current into effective drain
+    double gm;   // d id / d vgs
+    double gds;  // d id / d vds
+  };
+  OpPoint eval_normalized(double vgs, double vds) const;
+
+  int d_, g_, s_;
+  MosParams p_;
+};
+
+}  // namespace emc::ckt

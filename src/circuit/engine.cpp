@@ -1,0 +1,162 @@
+#include "circuit/engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "linalg/decomp.hpp"
+
+namespace emc::ckt {
+
+TransientResult::TransientResult(double t0, double dt, std::size_t n_unknowns)
+    : t0_(t0), dt_(dt), n_(n_unknowns) {}
+
+sig::Waveform TransientResult::waveform(int id) const {
+  std::vector<double> y(data_.size());
+  if (id != 0) {
+    const auto idx = static_cast<std::size_t>(id) - 1;
+    if (idx >= n_) throw std::out_of_range("TransientResult::waveform: bad unknown id");
+    for (std::size_t k = 0; k < data_.size(); ++k) y[k] = data_[k][idx];
+  }
+  return sig::Waveform(t0_, dt_, std::move(y));
+}
+
+double TransientResult::value(std::size_t step, int id) const {
+  if (id == 0) return 0.0;
+  return data_.at(step).at(static_cast<std::size_t>(id) - 1);
+}
+
+namespace {
+
+/// One damped Newton solve of the (non)linear MNA system at a fixed
+/// (t, dt, dc, src_scale) configuration. Returns true on convergence;
+/// x holds the solution (or the last iterate on failure).
+bool newton_solve(Circuit& ckt, std::vector<double>& x, const std::vector<double>& x_prev,
+                  double t, double dt, bool dc, double src_scale,
+                  const TransientOptions& opt, long* iter_count) {
+  const std::size_t n = x.size();
+  linalg::Matrix g(n, n);
+  std::vector<double> rhs(n);
+
+  for (int it = 0; it < opt.max_newton; ++it) {
+    if (iter_count) ++(*iter_count);
+    g.fill(0.0);
+    for (auto& v : rhs) v = 0.0;
+    Stamper st(g, rhs);
+    SimState state{x, x_prev, t, dt, dc, src_scale};
+    for (const auto& dev : ckt.devices()) dev->stamp(st, state);
+    for (std::size_t i = 0; i < n; ++i) g(i, i) += opt.gmin;
+
+    std::vector<double> x_new;
+    try {
+      x_new = linalg::solve_dense(g, rhs);
+    } catch (const std::runtime_error&) {
+      return false;  // singular system at this iterate
+    }
+
+    double dx_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dx_max = std::max(dx_max, std::abs(x_new[i] - x[i]));
+
+    if (dx_max <= opt.tol) {
+      x = std::move(x_new);
+      return true;
+    }
+    // Damping: clamp the update so nonlinear devices cannot be thrown far
+    // outside their linearization region.
+    const double scale = (dx_max > opt.dx_limit) ? opt.dx_limit / dx_max : 1.0;
+    for (std::size_t i = 0; i < n; ++i) x[i] += scale * (x_new[i] - x[i]);
+  }
+  return false;
+}
+
+}  // namespace
+
+void dc_operating_point(Circuit& ckt, std::vector<double>& x, const TransientOptions& opt) {
+  const std::vector<double> zeros(x.size(), 0.0);
+
+  // Strategy 1: gmin continuation from a heavily damped system.
+  for (double gmin : {1e-2, 1e-4, 1e-6, 1e-9, opt.gmin}) {
+    TransientOptions o = opt;
+    o.gmin = std::max(gmin, opt.gmin);
+    o.max_newton = 200;
+    if (!newton_solve(ckt, x, zeros, opt.t_start, 0.0, /*dc=*/true, 1.0, o, nullptr)) {
+      // Restart the continuation with source stepping below.
+      break;
+    }
+    if (o.gmin == opt.gmin) return;
+  }
+
+  // Strategy 2: source stepping on top of gmin continuation.
+  std::fill(x.begin(), x.end(), 0.0);
+  for (double scale : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    TransientOptions o = opt;
+    o.max_newton = 300;
+    o.gmin = 1e-9;
+    if (!newton_solve(ckt, x, zeros, opt.t_start, 0.0, true, scale, o, nullptr))
+      throw std::runtime_error("dc_operating_point: no convergence at source scale " +
+                               std::to_string(scale));
+  }
+  TransientOptions o = opt;
+  o.max_newton = 300;
+  if (!newton_solve(ckt, x, zeros, opt.t_start, 0.0, true, 1.0, o, nullptr))
+    throw std::runtime_error("dc_operating_point: final polish failed");
+}
+
+TransientResult run_transient(Circuit& ckt, const TransientOptions& opt) {
+  if (opt.t_stop <= opt.t_start)
+    throw std::invalid_argument("run_transient: t_stop must exceed t_start");
+  if (opt.dt <= 0.0) throw std::invalid_argument("run_transient: dt must be positive");
+
+  const int n_unknowns = ckt.finalize();
+  std::vector<double> x(static_cast<std::size_t>(n_unknowns), 0.0);
+
+  for (const auto& dev : ckt.devices()) dev->reset();
+
+  if (opt.dc_start) {
+    dc_operating_point(ckt, x, opt);
+    SimState st{x, x, opt.t_start, 0.0, true, 1.0};
+    for (const auto& dev : ckt.devices()) dev->post_dc(st);
+  }
+
+  const auto n_steps =
+      static_cast<std::size_t>(std::llround((opt.t_stop - opt.t_start) / opt.dt));
+
+  TransientResult result(opt.t_start, opt.dt, static_cast<std::size_t>(n_unknowns));
+  result.data_.reserve(n_steps + 1);
+  result.data_.push_back(x);
+
+  std::vector<double> x_prev = x;
+  for (std::size_t k = 1; k <= n_steps; ++k) {
+    const double t = opt.t_start + opt.dt * static_cast<double>(k);
+
+    {
+      SimState st{x_prev, x_prev, t, opt.dt, false, 1.0};
+      for (const auto& dev : ckt.devices()) dev->start_step(st);
+    }
+
+    x = x_prev;  // warm start
+    const bool ok = newton_solve(ckt, x, x_prev, t, opt.dt, false, 1.0, opt,
+                                 &result.stats.total_newton_iters);
+    if (!ok) {
+      // Accept weakly converged steps (common right on a switching edge);
+      // a genuinely diverged solve produces NaNs that we reject.
+      bool finite = true;
+      for (double v : x) finite = finite && std::isfinite(v);
+      if (!finite)
+        throw std::runtime_error("run_transient: Newton diverged at t = " +
+                                 std::to_string(t));
+      ++result.stats.weak_steps;
+    }
+
+    {
+      SimState st{x, x_prev, t, opt.dt, false, 1.0};
+      for (const auto& dev : ckt.devices()) dev->commit(st);
+    }
+    result.data_.push_back(x);
+    x_prev = x;
+    ++result.stats.steps;
+  }
+  return result;
+}
+
+}  // namespace emc::ckt

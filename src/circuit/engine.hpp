@@ -1,0 +1,68 @@
+// Transient / DC analysis engine.
+//
+// Fixed-step trapezoidal integration with a damped Newton-Raphson solve at
+// every step. The step is fixed on purpose: the behavioral macromodels of
+// the paper are discrete-time systems with sampling time Ts, and locking
+// the circuit step to Ts is how they are coupled to the analog solver
+// (DESIGN.md, "Numerical design choices").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "signal/waveform.hpp"
+
+namespace emc::ckt {
+
+struct TransientOptions {
+  double dt = 25e-12;      ///< fixed step; defaults to the paper's Ts = 25 ps
+  double t_stop = 0.0;     ///< end time (required)
+  double t_start = 0.0;
+  int max_newton = 100;
+  double tol = 1e-6;       ///< infinity-norm convergence tolerance on dx
+  double dx_limit = 0.5;   ///< Newton damping: max |dx| per iteration
+  double gmin = 1e-12;     ///< diagonal leakage keeping the system regular
+  bool dc_start = true;    ///< compute the operating point before stepping
+};
+
+struct SolveStats {
+  long total_newton_iters = 0;
+  long steps = 0;
+  long weak_steps = 0;  ///< steps accepted at loose tolerance (diagnostic)
+};
+
+/// Full solution record of a transient run.
+class TransientResult {
+ public:
+  TransientResult(double t0, double dt, std::size_t n_unknowns);
+
+  /// Waveform of node/extra unknown `id` (ground returns all-zero).
+  sig::Waveform waveform(int id) const;
+
+  /// Raw access for derived quantities.
+  double value(std::size_t step, int id) const;
+  std::size_t steps() const { return data_.size(); }
+  double t0() const { return t0_; }
+  double dt() const { return dt_; }
+
+  SolveStats stats;
+
+ private:
+  friend TransientResult run_transient(Circuit& ckt, const TransientOptions& opt);
+  double t0_, dt_;
+  std::size_t n_;
+  std::vector<std::vector<double>> data_;
+};
+
+/// Solve the DC operating point (writes the solution into x, whose size
+/// must be the circuit's unknown count). Uses damped Newton with gmin and
+/// source stepping as fallbacks. Throws std::runtime_error if everything
+/// fails.
+void dc_operating_point(Circuit& ckt, std::vector<double>& x, const TransientOptions& opt);
+
+/// Run a transient analysis; the result holds every unknown at every step
+/// (the first record is the state at t_start).
+TransientResult run_transient(Circuit& ckt, const TransientOptions& opt);
+
+}  // namespace emc::ckt

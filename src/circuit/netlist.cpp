@@ -1,0 +1,26 @@
+#include "circuit/netlist.hpp"
+
+namespace emc::ckt {
+
+int Circuit::node() { return next_node_++; }
+
+int Circuit::node(const std::string& name) {
+  auto it = named_.find(name);
+  if (it != named_.end()) return it->second;
+  const int id = next_node_++;
+  named_.emplace(name, id);
+  return id;
+}
+
+int Circuit::finalize() {
+  int next_extra = next_node_;
+  for (auto& d : devices_) {
+    if (d->num_extra() > 0) {
+      d->set_extra_base(next_extra);
+      next_extra += d->num_extra();
+    }
+  }
+  return next_extra - 1;  // unknowns exclude ground
+}
+
+}  // namespace emc::ckt

@@ -1,0 +1,54 @@
+// Circuit container: node management and device storage.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/device.hpp"
+
+namespace emc::ckt {
+
+/// A circuit under construction. Node id 0 is ground.
+class Circuit {
+ public:
+  Circuit() = default;
+  Circuit(const Circuit&) = delete;
+  Circuit& operator=(const Circuit&) = delete;
+
+  int ground() const { return 0; }
+
+  /// Create a fresh anonymous node.
+  int node();
+
+  /// Get-or-create a named node.
+  int node(const std::string& name);
+
+  /// Number of nodes including ground.
+  int num_nodes() const { return next_node_; }
+
+  /// Construct a device in place and keep ownership; returns a reference
+  /// valid for the circuit's lifetime.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *dev;
+    devices_.push_back(std::move(dev));
+    return ref;
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+  /// Assign extra-unknown ids to all devices; returns the total number of
+  /// unknowns (nodes-1 + extras). Called by the engine.
+  int finalize();
+
+ private:
+  int next_node_ = 1;
+  std::map<std::string, int> named_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace emc::ckt

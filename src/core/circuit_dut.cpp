@@ -1,0 +1,80 @@
+#include "core/circuit_dut.hpp"
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+
+namespace emc::core {
+
+namespace {
+
+/// Current into `pin` delivered through `rs` from `src`, derived from the
+/// two node waveforms (measurement-resistor sensing).
+sig::Waveform sense_current(const ckt::TransientResult& res, int src, int pin, double rs) {
+  const auto v_src = res.waveform(src);
+  const auto v_pin = res.waveform(pin);
+  std::vector<double> i(v_src.size());
+  for (std::size_t k = 0; k < v_src.size(); ++k) i[k] = (v_src[k] - v_pin[k]) / rs;
+  return sig::Waveform(v_src.t0(), v_src.dt(), std::move(i));
+}
+
+}  // namespace
+
+PortRecord CircuitDriverDut::forced_response(bool high, const sig::Pwl& vsrc, double rs,
+                                             double dt, double t_stop) const {
+  ckt::Circuit ckt;
+  const double logic = high ? tech_.vdd : 0.0;
+  auto inst = dev::build_reference_driver(ckt, tech_, [logic](double) { return logic; });
+  const int src = ckt.node();
+  ckt.add<ckt::VSource>(src, ckt.ground(), [vsrc](double t) { return vsrc(t); });
+  ckt.add<ckt::Resistor>(src, inst.pad, rs);
+
+  ckt::TransientOptions opt;
+  opt.dt = dt;
+  opt.t_stop = t_stop;
+  const auto res = ckt::run_transient(ckt, opt);
+  return {res.waveform(inst.pad), sense_current(res, src, inst.pad, rs)};
+}
+
+PortRecord CircuitDriverDut::switching_response(const std::string& bits, double bit_time,
+                                                double r_th, double v_load, double dt,
+                                                double t_stop) const {
+  ckt::Circuit ckt;
+  auto pattern = sig::bit_stream(bits, bit_time, 0.1e-9, 0.0, tech_.vdd);
+  auto inst = dev::build_reference_driver(ckt, tech_, [pattern](double t) { return pattern(t); });
+  int far = ckt.ground();
+  if (v_load != 0.0) {
+    far = ckt.node();
+    ckt.add<ckt::VSource>(far, ckt.ground(), v_load);
+  }
+  ckt.add<ckt::Resistor>(inst.pad, far == ckt.ground() ? ckt.ground() : far, r_th);
+
+  ckt::TransientOptions opt;
+  opt.dt = dt;
+  opt.t_stop = t_stop;
+  const auto res = ckt::run_transient(ckt, opt);
+
+  // Port current into the pad: the load draws (v_pad - v_load)/r_th out of
+  // the pad, so i_into_pad = -(v_pad - v_load)/r_th.
+  const auto v_pad = res.waveform(inst.pad);
+  std::vector<double> i(v_pad.size());
+  for (std::size_t k = 0; k < v_pad.size(); ++k) i[k] = -(v_pad[k] - v_load) / r_th;
+  return {v_pad, sig::Waveform(v_pad.t0(), v_pad.dt(), std::move(i))};
+}
+
+PortRecord CircuitReceiverDut::forced_response(const sig::Pwl& vsrc, double rs, double dt,
+                                               double t_stop) const {
+  ckt::Circuit ckt;
+  auto inst = dev::build_reference_receiver(ckt, tech_);
+  const int src = ckt.node();
+  ckt.add<ckt::VSource>(src, ckt.ground(), [vsrc](double t) { return vsrc(t); });
+  ckt.add<ckt::Resistor>(src, inst.pin, rs);
+
+  ckt::TransientOptions opt;
+  opt.dt = dt;
+  opt.t_stop = t_stop;
+  const auto res = ckt::run_transient(ckt, opt);
+  return {res.waveform(inst.pin), sense_current(res, src, inst.pin, rs)};
+}
+
+}  // namespace emc::core

@@ -1,0 +1,46 @@
+// Circuit-simulation-backed DUT implementations wrapping the reference
+// transistor-level models. This is the in-repo stand-in for "transient
+// measurements on the real device" (or vendor transistor netlists) the
+// paper estimates its macromodels from.
+#pragma once
+
+#include "core/dut.hpp"
+#include "devices/reference_driver.hpp"
+#include "devices/reference_receiver.hpp"
+
+namespace emc::core {
+
+class CircuitDriverDut final : public DriverDut {
+ public:
+  explicit CircuitDriverDut(dev::DriverTech tech) : tech_(tech) {}
+
+  double vdd() const override { return tech_.vdd; }
+
+  PortRecord forced_response(bool high, const sig::Pwl& vsrc, double rs, double dt,
+                             double t_stop) const override;
+
+  PortRecord switching_response(const std::string& bits, double bit_time, double r_th,
+                                double v_load, double dt, double t_stop) const override;
+
+  const dev::DriverTech& tech() const { return tech_; }
+
+ private:
+  dev::DriverTech tech_;
+};
+
+class CircuitReceiverDut final : public ReceiverDut {
+ public:
+  explicit CircuitReceiverDut(dev::ReceiverTech tech) : tech_(tech) {}
+
+  double vdd() const override { return tech_.vdd; }
+
+  PortRecord forced_response(const sig::Pwl& vsrc, double rs, double dt,
+                             double t_stop) const override;
+
+  const dev::ReceiverTech& tech() const { return tech_; }
+
+ private:
+  dev::ReceiverTech tech_;
+};
+
+}  // namespace emc::core

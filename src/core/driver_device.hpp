@@ -1,0 +1,47 @@
+// MNA coupling of the PW-RBF driver macromodel: the discrete-time model is
+// locked to the engine's fixed step (dt must equal the model's Ts) and
+// stamps a linearized nonlinear current i(v(k)) at every Newton iteration,
+// with analytic d i / d v from the RBF submodels (the paper's "SPICE
+// implementation via an equivalent circuit").
+#pragma once
+
+#include <string>
+
+#include "circuit/device.hpp"
+#include "core/driver_model.hpp"
+
+namespace emc::core {
+
+class DriverDevice : public ckt::Device {
+ public:
+  /// The device drives `pad` against ground following the logic pattern
+  /// `bits` (bit period `bit_time`). The model object must outlive the
+  /// device.
+  DriverDevice(int pad, const PwRbfDriverModel& model, std::string bits, double bit_time);
+
+  bool nonlinear() const override { return true; }
+  void start_step(const ckt::SimState& st) override;
+  void stamp(ckt::Stamper& s, const ckt::SimState& st) override;
+  void commit(const ckt::SimState& st) override;
+  void post_dc(const ckt::SimState& st) override;
+  void reset() override;
+
+ private:
+  bool bit_at(double t) const;
+
+  int pad_;
+  const PwRbfDriverModel* model_;
+  std::string bits_;
+  double bit_time_;
+
+  // Runtime state.
+  SubmodelState run_h_;
+  SubmodelState run_l_;
+  bool state_ = false;
+  bool rising_ = false;
+  bool in_transition_ = false;
+  std::size_t steps_since_edge_ = 0;
+  double wh_ = 0.0, wl_ = 1.0;  // weights of the step being solved
+};
+
+}  // namespace emc::core

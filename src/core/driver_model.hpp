@@ -1,0 +1,112 @@
+// The paper's primary contribution, eq. (1): the Piece-Wise RBF driver
+// macromodel
+//
+//   i(k) = w_H(k) * i_H(k) + w_L(k) * i_L(k)
+//
+// i_H / i_L are RBF NARX submodels describing the port in the fixed High
+// and Low logic states; each one free-runs on the port voltage and its own
+// past outputs. w_H / w_L are switching weight sequences (one pair per
+// transition direction) obtained by linear inversion of (1) on two
+// identification loads.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ident/rbf.hpp"
+#include "signal/waveform.hpp"
+
+namespace emc::core {
+
+/// Switching weights sampled at the model rate, starting at the logic edge.
+struct WeightSequence {
+  std::vector<double> wh;
+  std::vector<double> wl;
+
+  std::size_t size() const { return wh.size(); }
+  bool empty() const { return wh.empty(); }
+};
+
+/// Complete two-piece driver macromodel.
+class PwRbfDriverModel {
+ public:
+  ident::RbfModel f_high;     ///< submodel i_H
+  ident::RbfModel f_low;      ///< submodel i_L
+  ident::NarxOrders orders;   ///< shared dynamic order (paper: r = 2..3)
+  WeightSequence up;          ///< weights for the Low->High transition
+  WeightSequence down;        ///< weights for the High->Low transition
+  double ts = 25e-12;         ///< sampling time [s]
+  double vdd = 3.3;           ///< High-state supply [V]
+  std::string name;           ///< device tag (reports / exports)
+
+  /// Submodel output given explicit histories (newest first):
+  /// v_hist = [v(k), v(k-1), ...], i_hist = [i(k-1), ...] of *that*
+  /// submodel. Optionally returns d i / d v(k).
+  double submodel_current(bool high, std::span<const double> v_hist,
+                          std::span<const double> i_hist, double* d_dv = nullptr) const;
+
+  /// Steady-state submodel current at a constant port voltage (fixed point
+  /// of the NARX recursion, damped iteration).
+  double steady_current(bool high, double v, int iters = 200) const;
+
+  /// Weights at `steps_since_edge` samples after a logic edge
+  /// (`rising` selects the up sequence). Past the stored sequence the
+  /// weights are the exact steady pair.
+  std::pair<double, double> weights_at(bool rising, std::size_t steps_since_edge) const;
+
+  /// Steady weights for a settled logic state.
+  static std::pair<double, double> steady_weights(bool high) {
+    return high ? std::pair{1.0, 0.0} : std::pair{0.0, 1.0};
+  }
+};
+
+/// Free-running state of one submodel: keeps the voltage/current histories
+/// and advances one sample at a time. Shared by the stand-alone simulators
+/// and the MNA-coupled driver device.
+class SubmodelState {
+ public:
+  /// Histories start at the submodel's fixed point for constant v0.
+  SubmodelState(const PwRbfDriverModel& m, bool high, double v0);
+
+  /// Evaluate i(k) for a *candidate* head voltage without committing
+  /// (used inside Newton loops). Optionally returns d i / d v.
+  double peek(double v, double* d_dv = nullptr) const;
+
+  /// Commit the sample: push v(k), evaluate and push i(k). Returns i(k).
+  double step(double v, double* d_dv = nullptr);
+
+  /// Re-seed both histories at a new constant operating point.
+  void reseed(double v0);
+
+ private:
+  static void push_front(std::vector<double>& h, double value);
+
+  const PwRbfDriverModel* m_;
+  bool high_;
+  std::vector<double> v_hist_;
+  std::vector<double> i_hist_;
+};
+
+/// Free-run both submodels over a recorded port voltage and combine them
+/// with the scheduled weights; used by validation and the weight
+/// estimation itself. `edge_step` is the sample index of the logic edge,
+/// `rising` its direction, and the initial state is the opposite of
+/// `rising`. Returns the model port current.
+sig::Waveform simulate_driver_on_voltage(const PwRbfDriverModel& m, const sig::Waveform& v,
+                                         std::size_t edge_step, bool rising);
+
+/// Stand-alone transient of the macromodel on a Thevenin load
+/// (v_oc(t) behind r_th): solves the scalar nonlinear port equation
+///   i_model(v) = (v_oc - v)/r_th
+/// at every sample with Newton. `bits` + `bit_time` give the logic input.
+/// This is the fast discrete-time path (no MNA), used by the quickstart
+/// and the efficiency benchmarks.
+sig::Waveform simulate_driver_on_thevenin(const PwRbfDriverModel& m, const std::string& bits,
+                                          double bit_time,
+                                          const std::function<double(double)>& v_oc,
+                                          double r_th, double t_stop);
+
+}  // namespace emc::core

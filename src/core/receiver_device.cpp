@@ -1,0 +1,75 @@
+#include "core/receiver_device.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/devices_linear.hpp"
+
+namespace emc::core {
+
+ReceiverDevice::ReceiverDevice(int pin, const ParametricReceiverModel& model)
+    : pin_(pin), model_(&model) {
+  const std::size_t hv = std::max<std::size_t>(
+      model.lin.b.size() > 0 ? model.lin.b.size() - 1 : 0,
+      static_cast<std::size_t>(model.nl_taps > 0 ? model.nl_taps - 1 : 0));
+  v_hist_.assign(std::max<std::size_t>(hv, 1), 0.0);
+  ilin_hist_.assign(std::max<std::size_t>(model.lin.a.size(), 1), 0.0);
+}
+
+void ReceiverDevice::start_step(const ckt::SimState& st) {
+  if (std::abs(st.dt - model_->ts) > 1e-3 * model_->ts)
+    throw std::runtime_error(
+        "ReceiverDevice: the engine step must equal the model sampling time Ts");
+}
+
+void ReceiverDevice::stamp(ckt::Stamper& s, const ckt::SimState& st) {
+  const double v = st.v(pin_);
+  if (st.dc) {
+    const double i0 = model_->static_current(v);
+    const double h = 1e-3;
+    const double g = (model_->static_current(v + h) - i0) / h;
+    s.nonlinear_current(pin_, 0, i0, std::max(g, 0.0), v);
+    s.conductance(pin_, 0, 1e-9);
+    return;
+  }
+  double g = 0.0;
+  const double i = model_->current(v, v_hist_, ilin_hist_, &g);
+  s.nonlinear_current(pin_, 0, i, g, v);
+  s.conductance(pin_, 0, 1e-9);
+}
+
+void ReceiverDevice::commit(const ckt::SimState& st) {
+  if (st.dc) return;
+  const double v = st.v(pin_);
+  const double i_lin = model_->linear_current(v, v_hist_, ilin_hist_);
+  for (std::size_t j = v_hist_.size(); j-- > 1;) v_hist_[j] = v_hist_[j - 1];
+  v_hist_[0] = v;
+  for (std::size_t j = ilin_hist_.size(); j-- > 1;) ilin_hist_[j] = ilin_hist_[j - 1];
+  ilin_hist_[0] = i_lin;
+}
+
+void ReceiverDevice::post_dc(const ckt::SimState& st) {
+  const double v = st.v(pin_);
+  for (auto& h : v_hist_) h = v;
+  double ilin_ss = 0.0;
+  try {
+    ilin_ss = model_->lin.dc_gain() * v;
+  } catch (const std::runtime_error&) {
+    ilin_ss = 0.0;
+  }
+  for (auto& h : ilin_hist_) h = ilin_ss;
+}
+
+void ReceiverDevice::reset() {
+  for (auto& h : v_hist_) h = 0.0;
+  for (auto& h : ilin_hist_) h = 0.0;
+}
+
+void add_cr_receiver(ckt::Circuit& ckt, int pin, const CrReceiverModel& model) {
+  if (model.c <= 0.0 || model.iv.size() < 2)
+    throw std::invalid_argument("add_cr_receiver: model not estimated");
+  ckt.add<ckt::Capacitor>(pin, ckt.ground(), model.c);
+  ckt.add<ckt::TableCurrent>(pin, ckt.ground(), model.iv);
+}
+
+}  // namespace emc::core

@@ -1,0 +1,34 @@
+// MNA coupling of the receiver macromodels: the parametric model (eq. 2)
+// as a discrete-time nonlinear device, and a helper that instantiates the
+// C-R baseline from circuit primitives.
+#pragma once
+
+#include "circuit/device.hpp"
+#include "circuit/netlist.hpp"
+#include "core/receiver_model.hpp"
+
+namespace emc::core {
+
+class ReceiverDevice : public ckt::Device {
+ public:
+  /// Model must outlive the device; `pin` is loaded against ground.
+  ReceiverDevice(int pin, const ParametricReceiverModel& model);
+
+  bool nonlinear() const override { return true; }
+  void start_step(const ckt::SimState& st) override;
+  void stamp(ckt::Stamper& s, const ckt::SimState& st) override;
+  void commit(const ckt::SimState& st) override;
+  void post_dc(const ckt::SimState& st) override;
+  void reset() override;
+
+ private:
+  int pin_;
+  const ParametricReceiverModel* model_;
+  std::vector<double> v_hist_;     // newest first, v(k-1), v(k-2), ...
+  std::vector<double> ilin_hist_;  // i_lin(k-1), ...
+};
+
+/// Add the C-R baseline model at `pin` (shunt C + static I(V) table).
+void add_cr_receiver(ckt::Circuit& ckt, int pin, const CrReceiverModel& model);
+
+}  // namespace emc::core

@@ -1,0 +1,63 @@
+// Receiver macromodel (paper Section 3, eq. 2):
+//
+//   i_in(k) = i_lin(k) + i_up(k) + i_dn(k)
+//
+// i_lin is a linear ARX submodel (the dominant capacitive behavior inside
+// the supply range); i_up / i_dn are RBF submodels of the up / down
+// protection circuits, active only near/beyond the rails. The simple C-R
+// model (shunt capacitor + nonlinear static resistor) of the same class is
+// provided as the baseline the paper compares against.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ident/arx.hpp"
+#include "ident/rbf.hpp"
+
+namespace emc::core {
+
+class ParametricReceiverModel {
+ public:
+  ident::ArxModel lin;       ///< linear dynamic submodel
+  ident::RbfModel up;        ///< up-clamp nonlinear submodel (input: v taps)
+  ident::RbfModel dn;        ///< down-clamp nonlinear submodel
+  int nl_taps = 2;           ///< voltage taps (v(k)..v(k-nl_taps+1)) of up/dn
+  double ts = 25e-12;        ///< sampling time [s]
+  double vdd = 1.8;
+  std::string name;
+
+  /// Total pin current for a candidate head voltage `v`, given histories
+  /// (newest first): v_hist of length >= max(lin.nb(), nl_taps-1),
+  /// ilin_hist of length >= lin.na(). Optionally d i / d v.
+  double current(double v, std::span<const double> v_hist,
+                 std::span<const double> ilin_hist, double* d_dv = nullptr) const;
+
+  /// The linear contribution only (needed to advance the internal ARX
+  /// state after a step is accepted).
+  double linear_current(double v, std::span<const double> v_hist,
+                        std::span<const double> ilin_hist) const;
+
+  /// Static current at a constant pin voltage.
+  double static_current(double v) const;
+};
+
+/// Baseline C-R model: shunt capacitor + static nonlinear resistor table.
+struct CrReceiverModel {
+  double c = 0.0;                                ///< shunt capacitance [F]
+  std::vector<std::pair<double, double>> iv;     ///< static I(V) table
+  std::string name;
+};
+
+/// Teacher-forced response of the parametric model to a recorded pin
+/// voltage (the model current does not react back on v; used for
+/// validation against recorded reference waveforms).
+sig::Waveform simulate_receiver_on_voltage(const ParametricReceiverModel& m,
+                                           const sig::Waveform& v);
+
+/// Same for the C-R baseline (i = C dv/dt + I_table(v), trapezoidal d/dt).
+sig::Waveform simulate_cr_on_voltage(const CrReceiverModel& m, const sig::Waveform& v);
+
+}  // namespace emc::core

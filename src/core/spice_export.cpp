@@ -1,0 +1,180 @@
+#include "core/spice_export.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace emc::core {
+
+namespace {
+
+/// Gaussian sum expression of one RBF submodel. Voltage tap nodes are
+/// named `vtap0..`, current tap nodes `itap0..` (node voltages carry the
+/// sampled values); the expression inlines the standardization.
+std::string rbf_expression(const ident::RbfModel& f, int n_vtaps, int n_itaps,
+                           const std::string& vtap_prefix, const std::string& itap_prefix) {
+  std::ostringstream os;
+  os.precision(9);
+  os << f.bias();
+  const auto& mean = f.scaler().mean();
+  const auto& scale = f.scaler().scale();
+  for (std::size_t j = 0; j < f.num_basis(); ++j) {
+    os << " + " << f.weights()[j] << "*exp(-(";
+    bool first = true;
+    for (int t = 0; t < n_vtaps + n_itaps; ++t) {
+      const bool is_v = t < n_vtaps;
+      const int local = is_v ? t : t - n_vtaps;
+      const std::string node =
+          (is_v ? vtap_prefix : itap_prefix) + std::to_string(local);
+      const auto ti = static_cast<std::size_t>(t);
+      if (!first) os << " + ";
+      first = false;
+      os << "((v(" << node << ")-(" << mean[ti] << "))/(" << scale[ti] << ")-("
+         << f.centers()(j, ti) << "))^2";
+    }
+    os << ")/(2*(" << f.sigma() << ")^2))";
+  }
+  return os.str();
+}
+
+/// Emit a chain of sample-delay taps of a source node: tap j carries
+/// v(src) delayed by j*ts. Uses ideal T elements terminated in their
+/// characteristic impedance (the standard SPICE delay-line trick).
+void emit_delay_taps(std::ostringstream& os, const std::string& src,
+                     const std::string& prefix, int n_taps, double ts,
+                     const std::string& gnd = "0") {
+  os << "* delay taps of " << src << " (" << n_taps << " x " << ts << " s)\n";
+  std::string prev = src;
+  for (int j = 1; j <= n_taps; ++j) {
+    const std::string tap = prefix + std::to_string(j);
+    const std::string buf = tap + "_b";
+    // Unity-gain buffer into the line so taps do not load each other.
+    os << "E" << tap << " " << buf << " " << gnd << " " << prev << " " << gnd << " 1\n";
+    os << "T" << tap << " " << buf << " " << gnd << " " << tap << " " << gnd
+       << " Z0=50 TD=" << ts << "\n";
+    os << "R" << tap << " " << tap << " " << gnd << " 50\n";
+    prev = tap;
+  }
+}
+
+}  // namespace
+
+std::string export_driver_spice(const PwRbfDriverModel& m, const std::string& subckt_name) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "* PW-RBF driver macromodel";
+  if (!m.name.empty()) os << " (" << m.name << ")";
+  os << "\n* i(out) = wH(t)*iH(v,iH_hist) + wL(t)*iL(v,iL_hist)\n"
+     << "* Ts = " << m.ts << " s, VDD = " << m.vdd << " V, order r = " << m.orders.nv
+     << "\n";
+  os << ".subckt " << subckt_name << " out wh wl\n";
+  os << "* wh / wl: switching weight control nodes (drive with PWL sources\n";
+  os << "* replaying the identified weight sequences at each logic edge)\n";
+
+  // Voltage taps of the port voltage.
+  os << "Rout out 0 1e9\n";
+  emit_delay_taps(os, "out", "vtap", m.orders.nv, m.ts);
+
+  // Each submodel: B-source producing the submodel current into a sense
+  // node, with its own delayed-output feedback taps.
+  for (const bool high : {true, false}) {
+    const std::string tag = high ? "h" : "l";
+    const ident::RbfModel& f = high ? m.f_high : m.f_low;
+    os << "* submodel i_" << tag << "\n";
+    // The submodel output is represented as a voltage on node i<tag>
+    // (1 V = 1 A) so it can be delayed like any node voltage.
+    std::ostringstream vt, it;
+    vt << "vtap";
+    it << "itap" << tag;
+    // tap 0 of the voltage is the port itself; rename via node aliases.
+    os << "Ri" << tag << " i" << tag << " 0 1e9\n";
+    emit_delay_taps(os, "i" + tag, "itap" + tag, m.orders.ni, m.ts);
+    os << "Bi" << tag << " i" << tag << " 0 V="
+       << rbf_expression(f, m.orders.nv + 1, m.orders.ni, "vtapx", "itap" + tag) << "\n";
+  }
+  // vtapx0 aliases the port voltage, vtapxj the delayed taps.
+  os << "Evt0 vtapx0 0 out 0 1\n";
+  for (int j = 1; j <= m.orders.nv; ++j)
+    os << "Evt" << j << " vtapx" << j << " 0 vtap" << j << " 0 1\n";
+  // itap<h/l>0 aliases the submodel output itself (i(k-1) after delay 1;
+  // index shift: feedback taps start at delay 1).
+  os << "* output current: weighted combination\n";
+  os << "Bout out 0 I=-(v(wh)*v(ih) + v(wl)*v(il))\n";
+  os << ".ends " << subckt_name << "\n";
+
+  // Reference PWL comment block with the weight sequences.
+  os << "* up-transition weight samples (t_rel wh wl):\n";
+  for (std::size_t k = 0; k < m.up.size(); k += std::max<std::size_t>(m.up.size() / 16, 1))
+    os << "*   " << static_cast<double>(k) * m.ts << " " << m.up.wh[k] << " " << m.up.wl[k]
+       << "\n";
+  os << "* down-transition weight samples (t_rel wh wl):\n";
+  for (std::size_t k = 0; k < m.down.size();
+       k += std::max<std::size_t>(m.down.size() / 16, 1))
+    os << "*   " << static_cast<double>(k) * m.ts << " " << m.down.wh[k] << " "
+       << m.down.wl[k] << "\n";
+  return os.str();
+}
+
+std::string export_receiver_spice(const ParametricReceiverModel& m,
+                                  const std::string& subckt_name) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "* Parametric receiver macromodel";
+  if (!m.name.empty()) os << " (" << m.name << ")";
+  os << "\n* i(in) = ARX(v) + RBF_up(v taps) + RBF_dn(v taps)\n";
+  os << ".subckt " << subckt_name << " in\n";
+  os << "Rin in 0 1e9\n";
+  emit_delay_taps(os, "in", "vtap", std::max(m.lin.nb(), m.nl_taps - 1), m.ts);
+
+  // Linear ARX part: i_lin feedback realized on a sense node (1 V = 1 A).
+  os << "* linear ARX submodel\n";
+  emit_delay_taps(os, "ilin", "iltap", m.lin.na(), m.ts);
+  os << "Bilin ilin 0 V=";
+  {
+    std::ostringstream ex;
+    ex.precision(9);
+    ex << m.lin.b[0] << "*v(in)";
+    for (int j = 1; j <= m.lin.nb(); ++j)
+      ex << " + " << m.lin.b[static_cast<std::size_t>(j)] << "*v(vtap" << j << ")";
+    for (int j = 1; j <= m.lin.na(); ++j)
+      ex << " + " << m.lin.a[static_cast<std::size_t>(j - 1)] << "*v(iltap" << j << ")";
+    os << ex.str() << "\n";
+  }
+
+  // Clamp submodels (voltage taps only).
+  os << "Evc0 vtapx0 0 in 0 1\n";
+  for (int j = 1; j < m.nl_taps; ++j)
+    os << "Evc" << j << " vtapx" << j << " 0 vtap" << j << " 0 1\n";
+  os << "Bup iup 0 V=" << rbf_expression(m.up, m.nl_taps, 0, "vtapx", "") << "\n";
+  os << "Bdn idn 0 V=" << rbf_expression(m.dn, m.nl_taps, 0, "vtapx", "") << "\n";
+
+  os << "Bout in 0 I=v(ilin)+v(iup)+v(idn)\n";
+  os << ".ends " << subckt_name << "\n";
+  return os.str();
+}
+
+std::string export_cr_spice(const CrReceiverModel& m, const std::string& subckt_name) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "* C-R baseline receiver model";
+  if (!m.name.empty()) os << " (" << m.name << ")";
+  os << "\n.subckt " << subckt_name << " in\n";
+  os << "Cin in 0 " << m.c << "\n";
+  os << "* static nonlinear resistor as a PWL-controlled current source\n";
+  os << "Bnl in 0 I=pwl(v(in)";
+  for (const auto& [v, i] : m.iv) os << ", " << v << ", " << i;
+  os << ")\n";
+  os << ".ends " << subckt_name << "\n";
+  return os.str();
+}
+
+void write_spice_file(const std::string& path, const std::string& netlist) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream osf(path);
+  if (!osf) throw std::runtime_error("write_spice_file: cannot open " + path);
+  osf << netlist;
+}
+
+}  // namespace emc::core

@@ -1,0 +1,35 @@
+// SPICE subcircuit export of the estimated macromodels (the paper's last
+// modeling step: "implementation ... in a circuit simulation environment,
+// like SPICE, by means of an equivalent circuit").
+//
+// Realization: each discrete delay tap v(k-j) / i(k-j) is produced by an
+// ideal transmission-line delay element (the classic sample-delay
+// synthesis); the RBF / ARX combination is a behavioral B-source whose
+// expression contains the Gaussian terms. The emitted netlist is ngspice
+// syntax; per the reproduction notes, coupling to an external ngspice run
+// is manual.
+#pragma once
+
+#include <string>
+
+#include "core/driver_model.hpp"
+#include "core/receiver_model.hpp"
+
+namespace emc::core {
+
+/// Subcircuit text of a PW-RBF driver model. Ports: OUT GND; the switching
+/// weights are emitted as two PWL sources triggered by the logic input
+/// port IN (0/1 levels).
+std::string export_driver_spice(const PwRbfDriverModel& m, const std::string& subckt_name);
+
+/// Subcircuit text of the parametric receiver model. Ports: IN GND.
+std::string export_receiver_spice(const ParametricReceiverModel& m,
+                                  const std::string& subckt_name);
+
+/// Subcircuit text of the C-R baseline receiver. Ports: IN GND.
+std::string export_cr_spice(const CrReceiverModel& m, const std::string& subckt_name);
+
+/// Write any exported netlist to a file (creates directories as needed).
+void write_spice_file(const std::string& path, const std::string& netlist);
+
+}  // namespace emc::core

@@ -1,0 +1,38 @@
+#include "core/validation.hpp"
+
+#include <sstream>
+
+namespace emc::core {
+
+std::string ValidationReport::to_line() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << label << ": rms=" << rms_error << " max=" << max_error
+     << " rel_rms=" << rel_rms * 100.0 << "%";
+  if (timing_error)
+    os << " timing_err=" << *timing_error * 1e12 << " ps";
+  else
+    os << " timing_err=n/a";
+  return os.str();
+}
+
+ValidationReport validate_waveform(const std::string& label, const sig::Waveform& reference,
+                                   const sig::Waveform& model, double threshold,
+                                   double min_separation) {
+  ValidationReport rep;
+  rep.label = label;
+  rep.rms_error = sig::rms_error(reference, model);
+  rep.max_error = sig::max_error(reference, model);
+  const double ref_rms = sig::rms(reference);
+  rep.rel_rms = ref_rms > 0 ? rep.rms_error / ref_rms : 0.0;
+  // Hysteresis at 8% of the reference swing: rings that merely graze the
+  // threshold do not produce phantom crossings.
+  const double swing = reference.max_value() - reference.min_value();
+  rep.timing_error =
+      sig::timing_error(reference, model, threshold, min_separation, 0.08 * swing);
+  rep.edge_timing_error =
+      sig::edge_timing_error(reference, model, threshold, 0.08 * swing);
+  return rep;
+}
+
+}  // namespace emc::core

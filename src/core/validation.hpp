@@ -1,0 +1,33 @@
+// Validation report helpers implementing the paper's Section 5 accuracy
+// metrics (threshold-crossing timing error, RMS/max voltage errors).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "signal/metrics.hpp"
+#include "signal/waveform.hpp"
+
+namespace emc::core {
+
+struct ValidationReport {
+  std::string label;
+  double rms_error = 0.0;                ///< [V] or [A]
+  double max_error = 0.0;
+  double rel_rms = 0.0;                  ///< rms error / rms of reference
+  std::optional<double> timing_error;    ///< [s], all deglitched crossings
+  std::optional<double> edge_timing_error;  ///< [s], fast edges only (the
+                                            ///< paper's Section 5 metric)
+
+  /// One formatted line, paper-style.
+  std::string to_line() const;
+};
+
+/// Compare a model waveform against the reference. The timing error uses
+/// `threshold` (typically VDD/2); crossings closer than `min_separation`
+/// are merged first.
+ValidationReport validate_waveform(const std::string& label, const sig::Waveform& reference,
+                                   const sig::Waveform& model, double threshold,
+                                   double min_separation = 0.0);
+
+}  // namespace emc::core

@@ -1,0 +1,203 @@
+#include "devices/reference_driver.hpp"
+
+#include "circuit/devices_linear.hpp"
+
+namespace emc::dev {
+
+using ckt::Capacitor;
+using ckt::Circuit;
+using ckt::Inductor;
+using ckt::Mosfet;
+using ckt::MosParams;
+using ckt::MosType;
+using ckt::Resistor;
+using ckt::VSource;
+
+DriverTech DriverTech::md1_lvc244() {
+  DriverTech t;  // defaults describe the 3.3 V LVC-class buffer
+  return t;
+}
+
+DriverTech DriverTech::md2_ibm18() {
+  // High-speed ASIC driver: the pre-driver must settle well within the
+  // 1 ns bit time of the paper's validation patterns.
+  DriverTech t;
+  t.vdd = 1.8;
+  t.kp_n = 340e-6;
+  t.kp_p = 140e-6;
+  t.vt_n = 0.42;
+  t.vt_p = 0.42;
+  t.l = 0.18e-6;
+  t.w_out_n = 60e-6;
+  t.w_out_p = 140e-6;
+  t.gate_r = 220.0;
+  t.gate_c = 30e-15;
+  t.skew_r_p = 320.0;
+  t.skew_r_n = 320.0;
+  t.r_pkg = 0.25;
+  t.l_pkg = 1.5e-9;
+  t.c_pad = 0.8e-12;
+  return t;
+}
+
+DriverTech DriverTech::md3_ibm25() {
+  DriverTech t;
+  t.vdd = 2.5;
+  t.kp_n = 320e-6;
+  t.kp_p = 130e-6;
+  t.vt_n = 0.48;
+  t.vt_p = 0.48;
+  t.l = 0.25e-6;
+  t.w_out_n = 80e-6;
+  t.w_out_p = 190e-6;
+  t.gate_r = 240.0;
+  t.gate_c = 32e-15;
+  t.skew_r_p = 340.0;
+  t.skew_r_n = 340.0;
+  t.r_pkg = 0.25;
+  t.l_pkg = 2.0e-9;
+  t.c_pad = 1.0e-12;
+  return t;
+}
+
+DriverTech DriverTech::corner_slow() const {
+  DriverTech t = *this;
+  t.kp_n *= 0.8;
+  t.kp_p *= 0.8;
+  t.vt_n *= 1.1;
+  t.vt_p *= 1.1;
+  t.gate_r *= 1.2;
+  return t;
+}
+
+DriverTech DriverTech::corner_fast() const {
+  DriverTech t = *this;
+  t.kp_n *= 1.2;
+  t.kp_p *= 1.2;
+  t.vt_n *= 0.9;
+  t.vt_p *= 0.9;
+  t.gate_r *= 0.85;
+  return t;
+}
+
+namespace {
+
+MosParams nmos_of(const DriverTech& t, double w) {
+  MosParams p;
+  p.type = MosType::Nmos;
+  p.kp = t.kp_n;
+  p.vt0 = t.vt_n;
+  p.lambda = t.lambda;
+  p.w = w;
+  p.l = t.l;
+  return p;
+}
+
+MosParams pmos_of(const DriverTech& t, double w) {
+  MosParams p;
+  p.type = MosType::Pmos;
+  p.kp = t.kp_p;
+  p.vt0 = t.vt_p;
+  p.lambda = t.lambda;
+  p.w = w;
+  p.l = t.l;
+  return p;
+}
+
+/// One CMOS inverter between `in` and `out`; returns out.
+void add_inverter(Circuit& ckt, const DriverTech& t, int vdd, int in, int out, double wn) {
+  // Keep the classic ~2.3x P/N ratio of the technology presets.
+  const double wp = wn * (t.w_out_p / t.w_out_n);
+  ckt.add<Mosfet>(out, in, ckt.ground(), nmos_of(t, wn));
+  ckt.add<Mosfet>(out, in, vdd, pmos_of(t, wp));
+}
+
+/// Pre-driver branch: inverter chain (even number of stages) followed by a
+/// polarity-fixing inverter and the gate RC that sets the output-stage
+/// slew. Returns the output-device gate node.
+int add_predriver_branch(Circuit& ckt, const DriverTech& t, int vdd, int in, double skew_r) {
+  int cur = in;
+  double wn = t.w_pre1_n;
+  for (int s = 0; s < t.pre_stages; ++s) {
+    const int inv_out = ckt.node();
+    add_inverter(ckt, t, vdd, cur, inv_out, wn);
+    ckt.add<Capacitor>(inv_out, ckt.ground(), t.gate_c);
+    cur = inv_out;
+    wn *= t.pre_taper;
+  }
+  // Polarity-fixing stage (odd total inversions: in = vdd -> gates low).
+  const int inv_out = ckt.node();
+  add_inverter(ckt, t, vdd, cur, inv_out, t.w_pre1_n * 8.0);
+  ckt.add<Capacitor>(inv_out, ckt.ground(), t.gate_c);
+
+  // Gate RC after the last stage: this is what limits how fast the big
+  // output devices can be switched (and the knob that skews P vs N).
+  const int gate = ckt.node();
+  ckt.add<Resistor>(inv_out, gate, t.gate_r + skew_r);
+  ckt.add<Capacitor>(gate, ckt.ground(), 4.0 * t.gate_c);
+  return gate;
+}
+
+}  // namespace
+
+DriverInstance build_reference_driver(Circuit& ckt, const DriverTech& tech,
+                                      std::function<double(double)> input) {
+  DriverInstance inst;
+  inst.vdd_node = ckt.node();
+  ckt.add<VSource>(inst.vdd_node, ckt.ground(), tech.vdd);
+
+  inst.in_node = ckt.node();
+  ckt.add<VSource>(inst.in_node, ckt.ground(), std::move(input));
+
+  // Two pre-driver branches with different skews: the P gate turns off
+  // faster than the N gate turns on (and vice versa), the usual
+  // break-before-make shoot-through control.
+  const int gp = add_predriver_branch(ckt, tech, inst.vdd_node, inst.in_node,
+                                      tech.skew_r_p);
+  const int gn = add_predriver_branch(ckt, tech, inst.vdd_node, inst.in_node,
+                                      tech.skew_r_n);
+
+  const int drain = ckt.node();
+  ckt.add<Mosfet>(drain, gn, ckt.ground(), nmos_of(tech, tech.w_out_n));
+  ckt.add<Mosfet>(drain, gp, inst.vdd_node, pmos_of(tech, tech.w_out_p));
+  // Drain junction capacitance of the (wide) output devices.
+  ckt.add<Capacitor>(drain, ckt.ground(),
+                     tech.c_junction_per_w * (tech.w_out_n + tech.w_out_p));
+
+  // Package parasitics to the external pad.
+  inst.pad = ckt.node();
+  const int mid = ckt.node();
+  ckt.add<Resistor>(drain, mid, tech.r_pkg);
+  ckt.add<Inductor>(mid, inst.pad, tech.l_pkg);
+  ckt.add<Capacitor>(drain, ckt.ground(), tech.c_pad * 0.5);
+  ckt.add<Capacitor>(inst.pad, ckt.ground(), tech.c_pad * 0.5);
+
+  return inst;
+}
+
+DriverInstance build_reference_driver_static(Circuit& ckt, const DriverTech& tech,
+                                             bool gate_high) {
+  DriverInstance inst;
+  inst.vdd_node = ckt.node();
+  ckt.add<VSource>(inst.vdd_node, ckt.ground(), tech.vdd);
+  inst.in_node = inst.vdd_node;
+
+  // Gates hard-wired: High state = PMOS on + NMOS off (both gates low).
+  const int gates = gate_high ? ckt.ground() : inst.vdd_node;
+
+  const int drain = ckt.node();
+  ckt.add<Mosfet>(drain, gates, ckt.ground(), nmos_of(tech, tech.w_out_n));
+  ckt.add<Mosfet>(drain, gates, inst.vdd_node, pmos_of(tech, tech.w_out_p));
+  ckt.add<Capacitor>(drain, ckt.ground(),
+                     tech.c_junction_per_w * (tech.w_out_n + tech.w_out_p));
+
+  inst.pad = ckt.node();
+  const int mid = ckt.node();
+  ckt.add<Resistor>(drain, mid, tech.r_pkg);
+  ckt.add<Inductor>(mid, inst.pad, tech.l_pkg);
+  ckt.add<Capacitor>(drain, ckt.ground(), tech.c_pad * 0.5);
+  ckt.add<Capacitor>(inst.pad, ckt.ground(), tech.c_pad * 0.5);
+  return inst;
+}
+
+}  // namespace emc::dev

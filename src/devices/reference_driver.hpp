@@ -1,0 +1,77 @@
+// Reference ("transistor level") CMOS output buffer.
+//
+// The paper estimates its macromodels from the responses of detailed
+// transistor-level models of commercial devices (74LVC244 and IBM ASIC
+// drivers). Those netlists are proprietary; this module builds an
+// equivalent-class multi-stage CMOS buffer from level-1 MOSFETs:
+//
+//   logic in -> [pre-driver inverter chain with RC gate delays,
+//                separate skewed gates for P and N to get
+//                break-before-make] -> output stage -> package R/L/C -> pad
+//
+// which exhibits the port behaviors the macromodeling method must
+// capture: nonlinear output I-V, state-dependent dynamics, finite and
+// asymmetric slew, supply rail clamping, and package ringing.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "circuit/devices_nonlinear.hpp"
+#include "circuit/netlist.hpp"
+
+namespace emc::dev {
+
+/// Technology + sizing descriptor of a reference driver.
+struct DriverTech {
+  double vdd = 3.3;         ///< supply [V]
+  double kp_n = 300e-6;     ///< NMOS process transconductance [A/V^2]
+  double kp_p = 120e-6;     ///< PMOS process transconductance [A/V^2]
+  double vt_n = 0.55;       ///< NMOS threshold [V]
+  double vt_p = 0.55;       ///< PMOS threshold magnitude [V]
+  double lambda = 0.06;     ///< channel-length modulation [1/V]
+  double l = 0.35e-6;       ///< channel length [m]
+  double w_out_n = 120e-6;  ///< output-stage NMOS width [m]
+  double w_out_p = 280e-6;  ///< output-stage PMOS width [m]
+  int pre_stages = 2;       ///< pre-driver inverters per gate branch
+  double pre_taper = 4.0;   ///< width growth per pre-driver stage
+  double w_pre1_n = 4e-6;   ///< first pre-driver NMOS width [m]
+  double gate_r = 700.0;    ///< gate-branch series resistance [ohm]
+  double gate_c = 90e-15;   ///< gate-branch load capacitance [F]
+  double skew_r_p = 900.0;  ///< extra R on the P-gate branch (break-before-make)
+  double skew_r_n = 900.0;  ///< extra R on the N-gate branch
+  double r_pkg = 0.3;       ///< package series resistance [ohm]
+  double l_pkg = 2.5e-9;    ///< package bond+lead inductance [H]
+  double c_pad = 1.2e-12;   ///< pad + package shunt capacitance [F]
+  double c_junction_per_w = 12e-9;  ///< output drain junction cap per gate width [F/m]
+
+  /// Named presets for the paper's modeled devices (MD1..MD3).
+  static DriverTech md1_lvc244();  ///< 3.3 V commercial LVC-class buffer
+  static DriverTech md2_ibm18();   ///< 1.8 V IBM-class ASIC driver
+  static DriverTech md3_ibm25();   ///< 2.5 V IBM-class ASIC driver
+
+  /// Process-corner variants (used to generate slow/typ/fast IBIS data).
+  DriverTech corner_slow() const;
+  DriverTech corner_fast() const;
+};
+
+/// Handle to a driver instance inside a circuit.
+struct DriverInstance {
+  int pad = 0;        ///< output pad node (connect the load here)
+  int vdd_node = 0;   ///< internal supply node
+  int in_node = 0;    ///< logic input node (driven by the input source)
+};
+
+/// Build a reference driver driven by the logic-level waveform `input`
+/// (0 -> low state, vdd -> high state). Returns the pad node to load.
+DriverInstance build_reference_driver(ckt::Circuit& ckt, const DriverTech& tech,
+                                      std::function<double(double)> input);
+
+/// Build a driver whose output stage is forced by externally supplied gate
+/// voltages (used by the IBIS extractor to hold the buffer in one state).
+/// `gate_high` = true wires both gates to GND (PMOS on -> logic High);
+/// false wires them to VDD (NMOS on -> logic Low).
+DriverInstance build_reference_driver_static(ckt::Circuit& ckt, const DriverTech& tech,
+                                             bool gate_high);
+
+}  // namespace emc::dev

@@ -1,0 +1,50 @@
+#include "devices/reference_receiver.hpp"
+
+#include "circuit/devices_linear.hpp"
+
+namespace emc::dev {
+
+using ckt::Capacitor;
+using ckt::Circuit;
+using ckt::Diode;
+using ckt::DiodeParams;
+using ckt::Resistor;
+using ckt::VSource;
+
+ReceiverTech ReceiverTech::md4_ibm18() {
+  ReceiverTech t;
+  return t;
+}
+
+ReceiverInstance build_reference_receiver(Circuit& ckt, const ReceiverTech& tech) {
+  ReceiverInstance inst;
+  inst.vdd_node = ckt.node();
+  ckt.add<VSource>(inst.vdd_node, ckt.ground(), tech.vdd);
+
+  inst.pin = ckt.node();
+  const int pad = ckt.node();
+  ckt.add<Resistor>(inst.pin, pad, tech.r_pin);
+  ckt.add<Capacitor>(pad, ckt.ground(), tech.c_pad);
+  // Junction capacitance: lumped linear approximation of the zero-bias
+  // ESD junction capacitance (its voltage dependence is mild inside the
+  // rails and the clamp diodes dominate outside).
+  ckt.add<Capacitor>(pad, ckt.ground(), tech.c_esd);
+
+  DiodeParams dp;
+  dp.is = tech.is_esd;
+  dp.n = tech.n_esd;
+
+  // Up clamp: pad -> series R -> diode -> VDD.
+  const int up_mid = ckt.node();
+  ckt.add<Resistor>(pad, up_mid, tech.r_esd);
+  ckt.add<Diode>(up_mid, inst.vdd_node, dp);
+
+  // Down clamp: GND -> diode -> series R -> pad.
+  const int dn_mid = ckt.node();
+  ckt.add<Diode>(dn_mid, pad, dp);
+  ckt.add<Resistor>(dn_mid, ckt.ground(), tech.r_esd);
+
+  return inst;
+}
+
+}  // namespace emc::dev

@@ -1,0 +1,37 @@
+// Reference ("transistor level") CMOS receiver input port.
+//
+// Inside the supply range a receiver is mainly a linear capacitance (gate
+// + pad + wiring); outside it the rail ESD protection devices dominate.
+// The reference model is: series pin resistance, pad capacitance,
+// voltage-dependent junction capacitance and rail clamp diodes with their
+// series resistances, matching the behavior the paper's receiver
+// macromodel (eq. 2) has to reproduce.
+#pragma once
+
+#include "circuit/devices_nonlinear.hpp"
+#include "circuit/netlist.hpp"
+
+namespace emc::dev {
+
+struct ReceiverTech {
+  double vdd = 1.8;        ///< supply [V]
+  double c_pad = 4e-12;    ///< linear pad + gate capacitance [F]
+  double c_esd = 2e-12;    ///< additional junction capacitance near 0 bias [F]
+  double r_pin = 2.0;      ///< series pin resistance [ohm]
+  double r_esd = 4.0;      ///< clamp diode series resistance [ohm]
+  double is_esd = 2e-15;   ///< clamp diode saturation current [A]
+  double n_esd = 1.1;      ///< clamp diode emission coefficient
+
+  /// The paper's MD4: 1.8 V IBM-class receiver.
+  static ReceiverTech md4_ibm18();
+};
+
+struct ReceiverInstance {
+  int pin = 0;       ///< external pin node
+  int vdd_node = 0;  ///< internal supply node
+};
+
+/// Build the reference receiver; the caller connects the source to `pin`.
+ReceiverInstance build_reference_receiver(ckt::Circuit& ckt, const ReceiverTech& tech);
+
+}  // namespace emc::dev

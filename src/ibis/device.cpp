@@ -1,0 +1,92 @@
+#include "ibis/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emc::ibis {
+
+IbisDriverDevice::IbisDriverDevice(int pad, const IbisModel& model, std::string bits,
+                                   double bit_time)
+    : pad_(pad), model_(&model), bits_(std::move(bits)), bit_time_(bit_time) {
+  if (bits_.empty()) throw std::invalid_argument("IbisDriverDevice: empty bit pattern");
+  if (bit_time <= 0.0)
+    throw std::invalid_argument("IbisDriverDevice: bit_time must be positive");
+  if (!model.pullup.valid() || !model.pulldown.valid())
+    throw std::invalid_argument("IbisDriverDevice: model tables not extracted");
+  state_ = bits_[0] == '1';
+}
+
+bool IbisDriverDevice::bit_at(double t) const {
+  auto idx = static_cast<std::size_t>(t / bit_time_);
+  if (idx >= bits_.size()) idx = bits_.size() - 1;
+  return bits_[idx] == '1';
+}
+
+std::pair<double, double> IbisDriverDevice::table_eval(const IvTable& tb, double v) const {
+  const auto& pts = tb.points;
+  std::size_t hi = 1;
+  if (v >= pts.back().first) {
+    hi = pts.size() - 1;
+  } else if (v > pts.front().first) {
+    hi = static_cast<std::size_t>(
+        std::upper_bound(pts.begin(), pts.end(), v,
+                         [](double vv, const auto& p) { return vv < p.first; }) -
+        pts.begin());
+  }
+  const auto& p0 = pts[hi - 1];
+  const auto& p1 = pts[hi];
+  const double g = (p1.second - p0.second) / (p1.first - p0.first);
+  return {p0.second + g * (v - p0.first), g};
+}
+
+void IbisDriverDevice::start_step(const ckt::SimState& st) {
+  const bool b = bit_at(st.t);
+  if (b != state_) {
+    state_ = b;
+    edge_time_ = st.t;
+  }
+  // Switching coefficients: linear ramps over the edge's ramp duration,
+  // delayed by the annotated buffer propagation latency.
+  const double latency = state_ ? model_->latency_up : model_->latency_down;
+  const double since = st.t - edge_time_ - latency;
+  const double t_ramp = state_ ? model_->t_ramp_up() : model_->t_ramp_down();
+  const double frac = std::clamp(since / t_ramp, 0.0, 1.0);
+  ku_ = state_ ? frac : 1.0 - frac;
+  kd_ = 1.0 - ku_;
+
+  // C_comp trapezoidal companion.
+  geq_ = 2.0 * model_->c_comp / st.dt;
+  const double v_prev = st.v_prev(pad_);
+  ieq_ = geq_ * v_prev + icap_prev_;
+}
+
+void IbisDriverDevice::stamp(ckt::Stamper& s, const ckt::SimState& st) {
+  const double v = st.v(pad_);
+  const auto [ipu, gpu] = table_eval(model_->pullup, v);
+  const auto [ipd, gpd] = table_eval(model_->pulldown, v);
+  const double i = ku_ * ipu + kd_ * ipd;
+  const double g = ku_ * gpu + kd_ * gpd;
+  s.nonlinear_current(pad_, 0, i, g, v);
+  if (!st.dc && model_->c_comp > 0.0) {
+    s.conductance(pad_, 0, geq_);
+    s.current_source(0, pad_, ieq_);
+  }
+}
+
+void IbisDriverDevice::commit(const ckt::SimState& st) {
+  if (st.dc) return;
+  if (model_->c_comp > 0.0) icap_prev_ = geq_ * st.v(pad_) - ieq_;
+}
+
+void IbisDriverDevice::post_dc(const ckt::SimState&) { icap_prev_ = 0.0; }
+
+void IbisDriverDevice::reset() {
+  state_ = bits_[0] == '1';
+  edge_time_ = -1e18;
+  icap_prev_ = 0.0;
+  ku_ = state_ ? 1.0 : 0.0;
+  kd_ = 1.0 - ku_;
+}
+
+}  // namespace emc::ibis

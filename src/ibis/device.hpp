@@ -1,0 +1,42 @@
+// Circuit device simulating an IBIS model with linear switching
+// coefficients: i(v, t) = Ku(t)*I_pu(v) + Kd(t)*I_pd(v) + C_comp*dv/dt.
+#pragma once
+
+#include <string>
+
+#include "circuit/device.hpp"
+#include "ibis/model.hpp"
+
+namespace emc::ibis {
+
+class IbisDriverDevice : public ckt::Device {
+ public:
+  /// Drives `pad` against ground following the logic pattern `bits`
+  /// (period `bit_time`). The model must outlive the device.
+  IbisDriverDevice(int pad, const IbisModel& model, std::string bits, double bit_time);
+
+  bool nonlinear() const override { return true; }
+  void start_step(const ckt::SimState& st) override;
+  void stamp(ckt::Stamper& s, const ckt::SimState& st) override;
+  void commit(const ckt::SimState& st) override;
+  void post_dc(const ckt::SimState& st) override;
+  void reset() override;
+
+ private:
+  bool bit_at(double t) const;
+  std::pair<double, double> table_eval(const IvTable& t, double v) const;
+
+  int pad_;
+  const IbisModel* model_;
+  std::string bits_;
+  double bit_time_;
+
+  bool state_ = false;
+  double edge_time_ = -1e18;
+  double ku_ = 0.0, kd_ = 1.0;
+  // Trapezoidal companion state of C_comp.
+  double icap_prev_ = 0.0;
+  double geq_ = 0.0, ieq_ = 0.0;
+};
+
+}  // namespace emc::ibis

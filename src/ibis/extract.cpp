@@ -1,0 +1,159 @@
+#include "ibis/extract.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+#include "signal/metrics.hpp"
+#include "signal/sources.hpp"
+
+namespace emc::ibis {
+
+std::string corner_name(Corner c) {
+  switch (c) {
+    case Corner::Slow:
+      return "slow";
+    case Corner::Typical:
+      return "typical";
+    case Corner::Fast:
+      return "fast";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Settled (pad voltage, current into the pad) with the output stage held
+/// in one state and the pad forced through a small sense resistance. The
+/// table must be keyed by the *pad* voltage: at 0.3 A the drop across the
+/// sense resistor is a visible fraction of a volt.
+std::pair<double, double> dc_point(const dev::DriverTech& tech, bool high, double v_force,
+                                   const ExtractionOptions& opt) {
+  ckt::Circuit c;
+  auto inst = dev::build_reference_driver_static(c, tech, high);
+  const int src = c.node();
+  const double rs = 1.0;
+  c.add<ckt::VSource>(src, c.ground(), v_force);
+  c.add<ckt::Resistor>(src, inst.pad, rs);
+
+  ckt::TransientOptions topt;
+  topt.dt = opt.dt;
+  topt.t_stop = opt.settle;
+  const auto res = ckt::run_transient(c, topt);
+  const auto v_pad = res.waveform(inst.pad);
+  const std::size_t last = v_pad.size() - 1;
+  return {v_pad[last], (v_force - v_pad[last]) / rs};
+}
+
+struct RampMeasurement {
+  double slew = 0.0;     ///< 20-80% [V/s]
+  double latency = 0.0;  ///< input edge -> start of the output ramp [s]
+};
+
+/// 20-80% slew of an edge into the standard load, plus the buffer
+/// propagation latency (input logic edge to the extrapolated ramp start).
+RampMeasurement measure_ramp(const dev::DriverTech& tech, bool rising,
+                             const ExtractionOptions& opt) {
+  ckt::Circuit c;
+  const std::string bits = rising ? "01" : "10";
+  auto pattern = sig::bit_stream(bits, 3e-9, 0.1e-9, 0.0, tech.vdd);
+  auto inst = dev::build_reference_driver(c, tech, [pattern](double t) { return pattern(t); });
+  // Standard IBIS ramp fixture: 50 ohm to GND for rising, to VDD for
+  // falling edges.
+  if (rising) {
+    c.add<ckt::Resistor>(inst.pad, c.ground(), opt.ramp_load);
+  } else {
+    const int vt = c.node();
+    c.add<ckt::VSource>(vt, c.ground(), tech.vdd);
+    c.add<ckt::Resistor>(inst.pad, vt, opt.ramp_load);
+  }
+
+  ckt::TransientOptions topt;
+  topt.dt = opt.dt;
+  topt.t_stop = 8e-9;
+  const auto res = ckt::run_transient(c, topt);
+  const auto v = res.waveform(inst.pad);
+
+  const double v0 = v[0];
+  const double v1 = v[v.size() - 1];
+  const double lo = v0 + 0.2 * (v1 - v0);
+  const double hi = v0 + 0.8 * (v1 - v0);
+  const auto t_lo = sig::threshold_crossings(v, lo);
+  const auto t_hi = sig::threshold_crossings(v, hi);
+  if (t_lo.empty() || t_hi.empty())
+    throw std::runtime_error("measure_ramp: edge did not cross the 20/80% levels");
+  const double dt_edge = std::abs(t_hi.front() - t_lo.front());
+  if (dt_edge <= 0.0) throw std::runtime_error("measure_ramp: degenerate edge");
+
+  RampMeasurement rm;
+  rm.slew = std::abs(hi - lo) / dt_edge;
+  // The input logic edge fires at the start of the second bit (3 ns in
+  // this fixture); extrapolate the linear ramp back from the 20% point.
+  const double t_input_edge = 3e-9;
+  const double t_ramp_full = dt_edge / 0.6;
+  rm.latency = std::max(0.0, t_lo.front() - t_input_edge - 0.2 * t_ramp_full);
+  return rm;
+}
+
+/// Die capacitance estimate: with the output stage held Low, a small fast
+/// probe step through a large resistor relaxes with tau = R*C.
+double estimate_c_comp(const dev::DriverTech& tech) {
+  // The reference's own structural caps dominate; summing them is the
+  // honest equivalent of a vendor-quoted C_comp.
+  return tech.c_pad + tech.c_junction_per_w * (tech.w_out_n + tech.w_out_p);
+}
+
+}  // namespace
+
+IbisModel extract_ibis(const dev::DriverTech& tech, Corner corner,
+                       const ExtractionOptions& opt) {
+  dev::DriverTech t = tech;
+  if (corner == Corner::Slow) t = tech.corner_slow();
+  if (corner == Corner::Fast) t = tech.corner_fast();
+
+  IbisModel m;
+  m.corner = corner;
+  m.vdd = t.vdd;
+  // Force with enough headroom that the *pad* voltage covers the target
+  // range even against the full drive current through the sense resistor.
+  const double v_lo = -opt.v_beyond - 0.5;
+  const double v_hi = t.vdd + opt.v_beyond + 0.5;
+  for (int p = 0; p < opt.n_points; ++p) {
+    const double v = v_lo + (v_hi - v_lo) * static_cast<double>(p) / (opt.n_points - 1);
+    m.pullup.points.push_back(dc_point(t, true, v, opt));
+    m.pulldown.points.push_back(dc_point(t, false, v, opt));
+  }
+  // The pad-voltage keys are monotone (the sense drop is monotone in the
+  // forced value), but guard against numerically equal neighbours.
+  auto dedupe = [](IvTable& tb) {
+    auto& pts = tb.points;
+    pts.erase(std::unique(pts.begin(), pts.end(),
+                          [](const auto& a, const auto& b) {
+                            return std::abs(a.first - b.first) < 1e-9;
+                          }),
+              pts.end());
+  };
+  dedupe(m.pullup);
+  dedupe(m.pulldown);
+  const auto ramp_up = measure_ramp(t, true, opt);
+  const auto ramp_dn = measure_ramp(t, false, opt);
+  m.ramp_up = ramp_up.slew;
+  m.ramp_down = ramp_dn.slew;
+  m.latency_up = ramp_up.latency;
+  m.latency_down = ramp_dn.latency;
+  m.c_comp = estimate_c_comp(t);
+  return m;
+}
+
+std::vector<IbisModel> extract_ibis_corners(const dev::DriverTech& tech,
+                                            const ExtractionOptions& opt) {
+  std::vector<IbisModel> out;
+  for (Corner c : {Corner::Slow, Corner::Typical, Corner::Fast})
+    out.push_back(extract_ibis(tech, c, opt));
+  return out;
+}
+
+}  // namespace emc::ibis

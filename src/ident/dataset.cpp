@@ -1,0 +1,82 @@
+#include "ident/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emc::ident {
+
+Dataset build_narx_dataset(const sig::Waveform& v, const sig::Waveform& i, NarxOrders ord) {
+  if (v.size() != i.size())
+    throw std::invalid_argument("build_narx_dataset: waveform length mismatch");
+  const int h = ord.history();
+  if (static_cast<int>(v.size()) <= h + 1)
+    throw std::invalid_argument("build_narx_dataset: record too short for the orders");
+
+  const std::size_t n_rows = v.size() - static_cast<std::size_t>(h);
+  const auto n_cols = static_cast<std::size_t>(ord.regressor_size());
+  Dataset ds;
+  ds.x = linalg::Matrix(n_rows, n_cols);
+  ds.y.resize(n_rows);
+
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const std::size_t k = r + static_cast<std::size_t>(h);
+    std::size_t c = 0;
+    for (int j = 0; j <= ord.nv; ++j) ds.x(r, c++) = v[k - static_cast<std::size_t>(j)];
+    for (int j = 1; j <= ord.ni; ++j) ds.x(r, c++) = i[k - static_cast<std::size_t>(j)];
+    ds.y[r] = i[k];
+  }
+  return ds;
+}
+
+void fill_narx_regressor(std::span<const double> v_hist, std::span<const double> i_hist,
+                         NarxOrders ord, std::span<double> out) {
+  if (out.size() != static_cast<std::size_t>(ord.regressor_size()))
+    throw std::invalid_argument("fill_narx_regressor: bad output size");
+  if (v_hist.size() < static_cast<std::size_t>(ord.nv + 1) ||
+      i_hist.size() < static_cast<std::size_t>(ord.ni))
+    throw std::invalid_argument("fill_narx_regressor: history too short");
+  std::size_t c = 0;
+  for (int j = 0; j <= ord.nv; ++j) out[c++] = v_hist[static_cast<std::size_t>(j)];
+  for (int j = 0; j < ord.ni; ++j) out[c++] = i_hist[static_cast<std::size_t>(j)];
+}
+
+Scaler Scaler::fit(const linalg::Matrix& x) {
+  const std::size_t n = x.rows(), d = x.cols();
+  if (n == 0) throw std::invalid_argument("Scaler::fit: empty data");
+  Scaler s;
+  s.mean_.assign(d, 0.0);
+  s.scale_.assign(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < d; ++c) s.mean_[c] += x(r, c);
+  for (auto& m : s.mean_) m /= static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dlt = x(r, c) - s.mean_[c];
+      s.scale_[c] += dlt * dlt;
+    }
+  for (auto& v : s.scale_) {
+    v = std::sqrt(v / static_cast<double>(n));
+    if (v < 1e-12) v = 1.0;  // constant column: pass through
+  }
+  return s;
+}
+
+Scaler::Scaler(std::vector<double> mean, std::vector<double> scale)
+    : mean_(std::move(mean)), scale_(std::move(scale)) {
+  if (mean_.size() != scale_.size())
+    throw std::invalid_argument("Scaler: mean/scale size mismatch");
+}
+
+void Scaler::transform_row(std::span<const double> x, std::span<double> out) const {
+  if (x.size() != mean_.size() || out.size() != mean_.size())
+    throw std::invalid_argument("Scaler::transform_row: size mismatch");
+  for (std::size_t c = 0; c < mean_.size(); ++c) out[c] = (x[c] - mean_[c]) / scale_[c];
+}
+
+linalg::Matrix Scaler::transform(const linalg::Matrix& x) const {
+  linalg::Matrix z(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) transform_row(x.row(r), z.row(r));
+  return z;
+}
+
+}  // namespace emc::ident

@@ -1,0 +1,66 @@
+// Regressor construction for the parametric port models.
+//
+// The paper's driver submodels are NARX maps
+//   i(k) = F( v(k), v(k-1), ..., v(k-r),  i(k-1), ..., i(k-r) )
+// estimated from sampled identification waveforms (v, i). This module
+// turns waveform pairs into regression datasets and provides the column
+// standardization shared by all estimators.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "signal/waveform.hpp"
+
+namespace emc::ident {
+
+/// Dynamic orders of a NARX regressor.
+struct NarxOrders {
+  int nv = 2;  ///< voltage taps: v(k) .. v(k-nv)
+  int ni = 2;  ///< current feedback taps: i(k-1) .. i(k-ni)
+
+  int regressor_size() const { return nv + 1 + ni; }
+  int history() const { return nv > ni ? nv : ni; }
+};
+
+struct Dataset {
+  linalg::Matrix x;       ///< rows are regressors
+  std::vector<double> y;  ///< targets
+};
+
+/// Build the NARX dataset from aligned waveforms (same length & grid).
+/// Rows start at k = max(nv, ni). Throws on mismatched/too-short inputs.
+Dataset build_narx_dataset(const sig::Waveform& v, const sig::Waveform& i, NarxOrders ord);
+
+/// Assemble one NARX regressor in place (used by the free-run simulators
+/// and the circuit-coupled devices):
+/// x = [v(k), .., v(k-nv), i(k-1), .., i(k-ni)].
+/// `v_hist`/`i_hist` hold the newest sample first.
+void fill_narx_regressor(std::span<const double> v_hist, std::span<const double> i_hist,
+                         NarxOrders ord, std::span<double> out);
+
+/// Column standardization: z = (x - mean) / scale. Constant columns get
+/// scale 1 so they pass through unchanged.
+class Scaler {
+ public:
+  Scaler() = default;
+
+  /// Learn mean/scale from the rows of x.
+  static Scaler fit(const linalg::Matrix& x);
+
+  void transform_row(std::span<const double> x, std::span<double> out) const;
+  linalg::Matrix transform(const linalg::Matrix& x) const;
+
+  std::size_t dim() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+
+  /// Construct from explicit parameters (deserialization / testing).
+  Scaler(std::vector<double> mean, std::vector<double> scale);
+
+ private:
+  std::vector<double> mean_, scale_;
+};
+
+}  // namespace emc::ident

@@ -1,0 +1,106 @@
+// Gaussian Radial Basis Function network with Orthogonal Least Squares
+// center selection (Chen, Cowan, Grant 1991) — the estimator behind the
+// paper's driver submodels i_H / i_L and the receiver clamp submodels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ident/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace emc::ident {
+
+/// y(x) = w0 + sum_j w_j * exp(-||z - c_j||^2 / (2 sigma^2)),
+/// where z is the standardized input (see Scaler).
+class RbfModel {
+ public:
+  RbfModel() = default;
+  RbfModel(Scaler scaler, linalg::Matrix centers, std::vector<double> weights, double bias,
+           double sigma);
+
+  /// Model output for a raw (unscaled) input vector.
+  double eval(std::span<const double> x) const;
+
+  /// Output and the partial derivative d y / d x[idx] (raw input space);
+  /// needed by the circuit coupling, where Newton requires d i / d v(k).
+  double eval_with_grad(std::span<const double> x, std::size_t idx, double* grad) const;
+
+  std::size_t num_basis() const { return weights_.size(); }
+  std::size_t input_dim() const { return scaler_.dim(); }
+  bool empty() const { return weights_.empty() && bias_ == 0.0; }
+
+  const Scaler& scaler() const { return scaler_; }
+  const linalg::Matrix& centers() const { return centers_; }  ///< scaled space
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  Scaler scaler_;
+  linalg::Matrix centers_;       // rows are centers in scaled space
+  std::vector<double> weights_;  // one per center
+  double bias_ = 0.0;
+  double sigma_ = 1.0;
+};
+
+struct RbfFitOptions {
+  int max_basis = 12;        ///< basis functions to select (paper: 6..15)
+  double sigma = 1.5;        ///< kernel width in standardized space
+  int max_candidates = 400;  ///< candidate centers (subsampled training rows)
+  double ridge = 1e-8;       ///< Tikhonov term of the final weight solve
+  double min_err_reduction = 1e-7;  ///< OLS stop threshold (relative)
+  std::uint64_t seed = 1;    ///< candidate subsampling seed
+};
+
+/// Fit with fixed kernel width.
+RbfModel fit_rbf_ols(const linalg::Matrix& x, std::span<const double> y,
+                     const RbfFitOptions& opt);
+
+/// The OLS greedy selection is nested: the first j selected centers of a
+/// larger fit are exactly the j-basis fit. OlsPath captures one selection
+/// run so models of several sizes can be re-solved cheaply (weights are a
+/// small ridge solve per prefix) — used for free-run-scored model-order
+/// selection by the macromodel estimators.
+class OlsPath {
+ public:
+  OlsPath(const linalg::Matrix& x, std::span<const double> y, const RbfFitOptions& opt);
+
+  /// Model using the first `n_basis` selected centers (clipped to the
+  /// number actually selected).
+  RbfModel model(std::size_t n_basis) const;
+
+  std::size_t selected() const { return order_.size(); }
+  double sigma() const { return sigma_; }
+
+ private:
+  Scaler scaler_;
+  linalg::Matrix z_;  // standardized training rows
+  std::vector<double> y_;
+  std::vector<std::size_t> order_;  // selected row indices, in pick order
+  double sigma_;
+  double ridge_;
+};
+
+/// Grid search over (sigma, basis count), scoring each candidate model
+/// with `score` (lower is better, e.g. free-run validation error).
+RbfModel fit_rbf_best(const linalg::Matrix& x, std::span<const double> y,
+                      const RbfFitOptions& base, std::span<const double> sigma_grid,
+                      std::span<const int> basis_grid,
+                      const std::function<double(const RbfModel&)>& score);
+
+/// Fit trying several kernel widths, keeping the best one-step-ahead
+/// validation error on the last quarter of the data.
+RbfModel fit_rbf_auto(const linalg::Matrix& x, std::span<const double> y, RbfFitOptions opt,
+                      std::span<const double> sigma_grid = {});
+
+/// Free-run (simulation-mode) NARX response: feeds model predictions back
+/// into the current taps. `v` is the full input sequence, `i_init` holds
+/// ord.history() initial current samples (i[0..h-1]); the returned vector
+/// has the same length as v with i_init copied in front.
+std::vector<double> simulate_narx(const RbfModel& model, NarxOrders ord,
+                                  std::span<const double> v, std::span<const double> i_init);
+
+}  // namespace emc::ident

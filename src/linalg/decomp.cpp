@@ -1,0 +1,175 @@
+#include "linalg/decomp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emc::linalg {
+
+LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), piv_(lu_.rows()) {
+  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LuFactor: matrix not square");
+  const std::size_t n = lu_.rows();
+  for (std::size_t i = 0; i < n; ++i) piv_[i] = static_cast<int>(i);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    std::size_t p = k;
+    double pmax = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    if (pmax < 1e-300) throw std::runtime_error("LuFactor: singular matrix");
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+      std::swap(piv_[k], piv_[p]);
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) * inv_pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+std::vector<double> LuFactor::solve(std::span<const double> b) const {
+  std::vector<double> x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+void LuFactor::solve_in_place(std::span<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LuFactor::solve: size mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[piv_[i]];
+  // Forward substitution (unit lower triangle).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = y[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
+    y[ii] = acc / lu_(ii, ii);
+  }
+  for (std::size_t i = 0; i < n; ++i) b[i] = y[i];
+}
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("Cholesky: matrix not square");
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (acc <= 0.0) throw std::runtime_error("Cholesky: matrix not positive definite");
+        l_(i, i) = std::sqrt(acc);
+      } else {
+        l_(i, j) = acc / l_(j, j);
+      }
+    }
+  }
+}
+
+std::vector<double> Cholesky::forward(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("Cholesky::forward: size mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  std::vector<double> y = forward(b);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * y[j];
+    y[ii] = acc / l_(ii, ii);
+  }
+  return y;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a, std::span<const double> b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("solve_least_squares: size mismatch");
+  if (m < n) throw std::invalid_argument("solve_least_squares: underdetermined system");
+
+  Matrix r = a;  // working copy, becomes R in the upper triangle
+  std::vector<double> rhs(b.begin(), b.end());
+
+  // Householder QR, applying reflectors to the right-hand side on the fly.
+  for (std::size_t k = 0; k < n; ++k) {
+    double alpha = 0.0;
+    for (std::size_t i = k; i < m; ++i) alpha += r(i, k) * r(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha < 1e-300) throw std::runtime_error("solve_least_squares: rank deficient");
+    if (r(k, k) > 0) alpha = -alpha;
+
+    std::vector<double> v(m - k);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    const double vnorm2 = dot(v, v);
+    if (vnorm2 < 1e-300) continue;
+
+    // Apply H = I - 2 v v^T / (v^T v) to the remaining columns and rhs.
+    for (std::size_t j = k; j < n; ++j) {
+      double proj = 0.0;
+      for (std::size_t i = k; i < m; ++i) proj += v[i - k] * r(i, j);
+      const double s = 2.0 * proj / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= s * v[i - k];
+    }
+    double proj = 0.0;
+    for (std::size_t i = k; i < m; ++i) proj += v[i - k] * rhs[i];
+    const double s = 2.0 * proj / vnorm2;
+    for (std::size_t i = k; i < m; ++i) rhs[i] -= s * v[i - k];
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = rhs[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r(ii, j) * x[j];
+    if (std::abs(r(ii, ii)) < 1e-300)
+      throw std::runtime_error("solve_least_squares: rank deficient");
+    x[ii] = acc / r(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_ridge(const Matrix& a, std::span<const double> b, double lambda) {
+  const std::size_t n = a.cols();
+  if (b.size() != a.rows()) throw std::invalid_argument("solve_ridge: size mismatch");
+  Matrix ata(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.rows(); ++k) acc += a(k, i) * a(k, j);
+      ata(i, j) = acc;
+      ata(j, i) = acc;
+    }
+    ata(i, i) += lambda;
+  }
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t k = 0; k < a.rows(); ++k)
+    for (std::size_t i = 0; i < n; ++i) atb[i] += a(k, i) * b[k];
+  return Cholesky(ata).solve(atb);
+}
+
+std::vector<double> solve_dense(const Matrix& a, std::span<const double> b) {
+  return LuFactor(a).solve(b);
+}
+
+}  // namespace emc::linalg

@@ -1,0 +1,63 @@
+// Matrix factorizations: LU with partial pivoting (the MNA workhorse),
+// Cholesky (SPD systems, modal decomposition of line capacitance), and
+// Householder QR for overdetermined least-squares problems used by the
+// ARX / RBF estimators.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace emc::linalg {
+
+/// LU factorization with partial pivoting, reusable for multiple
+/// right-hand sides. Throws std::runtime_error on (numerical) singularity.
+class LuFactor {
+ public:
+  explicit LuFactor(Matrix a);
+
+  /// Solve A x = b for one right-hand side.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// In-place solve (b is overwritten by x).
+  void solve_in_place(std::span<double> b) const;
+
+  std::size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<int> piv_;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive definite
+/// matrix (only the lower triangle of `a` is read).
+/// Throws std::runtime_error if the matrix is not positive definite.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Lower-triangular factor L.
+  const Matrix& factor() const { return l_; }
+
+  /// Solve L y = b (forward substitution).
+  std::vector<double> forward(std::span<const double> b) const;
+
+ private:
+  Matrix l_;
+};
+
+/// Least-squares solution of min ||A x - b||_2 via Householder QR
+/// (requires rows >= cols). Throws std::runtime_error on rank deficiency.
+std::vector<double> solve_least_squares(const Matrix& a, std::span<const double> b);
+
+/// Ridge-regularized least squares: (A^T A + lambda I) x = A^T b.
+/// Robust for nearly collinear regressor sets.
+std::vector<double> solve_ridge(const Matrix& a, std::span<const double> b, double lambda);
+
+/// Convenience: dense solve of a square system (single use).
+std::vector<double> solve_dense(const Matrix& a, std::span<const double> b);
+
+}  // namespace emc::linalg

@@ -1,0 +1,87 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace emc::linalg {
+
+EigenResult eigen_symmetric(const Matrix& a, double tol, int max_sweeps) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("eigen_symmetric: matrix not square");
+  const std::size_t n = a.rows();
+
+  // Work on the symmetrized copy so tiny asymmetries from upstream
+  // arithmetic cannot stall convergence.
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = 0.5 * (a(i, j) + a(j, i));
+
+  Matrix v = Matrix::identity(n);
+
+  // The convergence threshold is relative to the matrix magnitude so the
+  // solver works for matrices of any physical scale (e.g. LC products of
+  // transmission lines are ~1e-17 in SI units).
+  double fro = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) fro += m(i, j) * m(i, j);
+  const double threshold = tol * std::max(std::sqrt(fro), 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    if (std::sqrt(off) < threshold) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(m(p, q)) < 1e-300) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * m(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenResult res;
+  res.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.values[i] = m(i, i);
+
+  // Sort ascending, permuting eigenvectors to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return res.values[x] < res.values[y]; });
+
+  EigenResult sorted;
+  sorted.values.resize(n);
+  sorted.vectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    sorted.values[c] = res.values[order[c]];
+    for (std::size_t r = 0; r < n; ++r) sorted.vectors(r, c) = v(r, order[c]);
+  }
+  return sorted;
+}
+
+}  // namespace emc::linalg

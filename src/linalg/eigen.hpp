@@ -1,0 +1,21 @@
+// Symmetric eigenvalue decomposition (cyclic Jacobi) used by the modal
+// decomposition of coupled multiconductor transmission lines.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace emc::linalg {
+
+struct EigenResult {
+  std::vector<double> values;  ///< eigenvalues, ascending
+  Matrix vectors;              ///< columns are the matching eigenvectors
+};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+/// Only the symmetric part of `a` is used. Throws std::invalid_argument on
+/// non-square input.
+EigenResult eigen_symmetric(const Matrix& a, double tol = 1e-12, int max_sweeps = 64);
+
+}  // namespace emc::linalg

@@ -1,0 +1,34 @@
+#include "signal/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace emc::sig {
+
+void write_csv(const std::string& path, const std::vector<std::string>& names,
+               const std::vector<Waveform>& columns) {
+  if (names.size() != columns.size())
+    throw std::invalid_argument("write_csv: names/columns size mismatch");
+  if (columns.empty()) throw std::invalid_argument("write_csv: no columns");
+
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_csv: cannot open " + path);
+
+  os << "time";
+  for (const auto& n : names) os << ',' << n;
+  os << '\n';
+
+  const Waveform& grid = columns.front();
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    const double t = grid.time_at(k);
+    os << t;
+    for (const auto& w : columns) os << ',' << w.value_at(t);
+    os << '\n';
+  }
+}
+
+}  // namespace emc::sig

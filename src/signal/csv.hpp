@@ -1,0 +1,18 @@
+// Minimal CSV writer for benchmark/experiment series output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "signal/waveform.hpp"
+
+namespace emc::sig {
+
+/// Write aligned waveform columns to a CSV file with a header row:
+/// time,<name0>,<name1>,... All waveforms are interpolated onto the grid of
+/// the first one. Creates parent directories if missing.
+/// Throws std::runtime_error if the file cannot be opened.
+void write_csv(const std::string& path, const std::vector<std::string>& names,
+               const std::vector<Waveform>& columns);
+
+}  // namespace emc::sig

@@ -1,0 +1,134 @@
+#include "signal/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emc::sig {
+
+double rms_error(const Waveform& a, const Waveform& b) {
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b.value_at(a.time_at(k));
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double max_error(const Waveform& a, const Waveform& b) {
+  double m = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k)
+    m = std::max(m, std::abs(a[k] - b.value_at(a.time_at(k))));
+  return m;
+}
+
+double rms(const Waveform& a) {
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) acc += a[k] * a[k];
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+std::vector<double> threshold_crossings(const Waveform& w, double threshold,
+                                        double min_separation) {
+  std::vector<double> out;
+  for (std::size_t k = 1; k < w.size(); ++k) {
+    const double y0 = w[k - 1] - threshold;
+    const double y1 = w[k] - threshold;
+    if (y0 == 0.0) {
+      // Touching exactly: count it once at the sample time.
+      if (out.empty() || w.time_at(k - 1) - out.back() > min_separation)
+        out.push_back(w.time_at(k - 1));
+      continue;
+    }
+    if (y0 * y1 < 0.0) {
+      const double frac = y0 / (y0 - y1);
+      const double t = w.time_at(k - 1) + frac * w.dt();
+      if (out.empty() || t - out.back() > min_separation) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<double> threshold_crossings_hysteresis(const Waveform& w, double threshold,
+                                                   double hysteresis) {
+  std::vector<double> out;
+  if (w.empty()) return out;
+  // Armed state: +1 after settling above threshold+h, -1 after settling
+  // below threshold-h, 0 before the first settling.
+  int state = 0;
+  if (w[0] > threshold + hysteresis) state = 1;
+  if (w[0] < threshold - hysteresis) state = -1;
+  double pending = -1.0;  // interpolated threshold crossing awaiting confirmation
+  for (std::size_t k = 1; k < w.size(); ++k) {
+    const double y0 = w[k - 1] - threshold;
+    const double y1 = w[k] - threshold;
+    if (y0 * y1 < 0.0) {
+      const double frac = y0 / (y0 - y1);
+      pending = w.time_at(k - 1) + frac * w.dt();
+    }
+    if (w[k] > threshold + hysteresis && state != 1) {
+      if (state == -1 && pending >= 0.0) out.push_back(pending);
+      state = 1;
+    } else if (w[k] < threshold - hysteresis && state != -1) {
+      if (state == 1 && pending >= 0.0) out.push_back(pending);
+      state = -1;
+    }
+  }
+  return out;
+}
+
+std::optional<double> timing_error(const Waveform& reference, const Waveform& model,
+                                   double threshold, double min_separation,
+                                   double hysteresis) {
+  const auto cr = hysteresis > 0.0
+                      ? threshold_crossings_hysteresis(reference, threshold, hysteresis)
+                      : threshold_crossings(reference, threshold, min_separation);
+  const auto cm = hysteresis > 0.0
+                      ? threshold_crossings_hysteresis(model, threshold, hysteresis)
+                      : threshold_crossings(model, threshold, min_separation);
+  if (cr.empty() || cm.empty()) return std::nullopt;
+
+  // Match each reference crossing to the nearest model crossing. This is
+  // robust to a model producing a spurious extra crossing from ringing.
+  double worst = 0.0;
+  for (double t : cr) {
+    double best = std::numeric_limits<double>::infinity();
+    for (double u : cm) best = std::min(best, std::abs(u - t));
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+std::optional<double> edge_timing_error(const Waveform& reference, const Waveform& model,
+                                        double threshold, double hysteresis,
+                                        double min_slew_fraction) {
+  const auto cr = threshold_crossings_hysteresis(reference, threshold, hysteresis);
+  const auto cm = threshold_crossings_hysteresis(model, threshold, hysteresis);
+  if (cr.empty() || cm.empty()) return std::nullopt;
+
+  double peak_slew = 0.0;
+  for (std::size_t k = 1; k < reference.size(); ++k)
+    peak_slew = std::max(peak_slew, std::abs(reference[k] - reference[k - 1]));
+  peak_slew /= reference.dt();
+  const double min_slew = min_slew_fraction * peak_slew;
+
+  double worst = 0.0;
+  bool any = false;
+  for (double t : cr) {
+    // Local slew of the reference at this crossing.
+    const auto k = static_cast<std::size_t>((t - reference.t0()) / reference.dt());
+    if (k + 1 >= reference.size()) continue;
+    const double slew = std::abs(reference[k + 1] - reference[k]) / reference.dt();
+    if (slew < min_slew) continue;
+    any = true;
+    double best = std::numeric_limits<double>::infinity();
+    for (double u : cm) best = std::min(best, std::abs(u - t));
+    worst = std::max(worst, best);
+  }
+  if (!any) return std::nullopt;
+  return worst;
+}
+
+}  // namespace emc::sig

@@ -1,0 +1,57 @@
+// Accuracy metrics used in the paper's Section 5: RMS / max errors and the
+// threshold-crossing timing error ("maximum delay between the reference and
+// the model responses measured at the crossing of a suitable voltage
+// threshold").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "signal/waveform.hpp"
+
+namespace emc::sig {
+
+/// Root-mean-square difference between two waveforms evaluated on the grid
+/// of `a` (b is interpolated).
+double rms_error(const Waveform& a, const Waveform& b);
+
+/// Maximum absolute difference on the grid of `a`.
+double max_error(const Waveform& a, const Waveform& b);
+
+/// RMS of `a` itself (useful for normalized errors).
+double rms(const Waveform& a);
+
+/// All times where the waveform crosses `threshold`, linearly interpolated
+/// between samples. `min_separation` merges crossings closer than that
+/// (e.g. ringing around the threshold).
+std::vector<double> threshold_crossings(const Waveform& w, double threshold,
+                                        double min_separation = 0.0);
+
+/// Crossings with hysteresis (oscilloscope-style deglitching): a crossing
+/// is only registered when the waveform has previously settled beyond
+/// threshold -+ hysteresis on the opposite side, so rings that merely graze
+/// the threshold do not count.
+std::vector<double> threshold_crossings_hysteresis(const Waveform& w, double threshold,
+                                                   double hysteresis);
+
+/// Paper Section 5 timing-error metric: match every reference crossing of
+/// `threshold` to the nearest model crossing and return the maximum
+/// |delta t|. `hysteresis` > 0 deglitches both waveforms first (standard
+/// timing-measurement practice; rings grazing the threshold would
+/// otherwise produce phantom crossings with no partner). Returns nullopt
+/// when either waveform never crosses the threshold.
+std::optional<double> timing_error(const Waveform& reference, const Waveform& model,
+                                   double threshold, double min_separation = 0.0,
+                                   double hysteresis = 0.0);
+
+/// Slew-qualified timing error: like timing_error (with hysteresis), but
+/// only reference crossings whose local slew rate is at least
+/// `min_slew_fraction` of the record's peak slew are scored. Shallow
+/// ring-throughs turn small voltage errors into huge, meaningless delta-t
+/// (dt = dv / slope); switching-edge timing is what the paper's Section 5
+/// metric measures.
+std::optional<double> edge_timing_error(const Waveform& reference, const Waveform& model,
+                                        double threshold, double hysteresis,
+                                        double min_slew_fraction = 0.25);
+
+}  // namespace emc::sig

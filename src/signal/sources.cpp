@@ -1,0 +1,124 @@
+#include "signal/sources.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emc::sig {
+
+Pwl::Pwl(std::vector<std::pair<double, double>> points) : pts_(std::move(points)) {
+  for (std::size_t i = 1; i < pts_.size(); ++i)
+    if (pts_[i].first < pts_[i - 1].first)
+      throw std::invalid_argument("Pwl: breakpoints must be time-ordered");
+}
+
+void Pwl::add(double t, double y) {
+  if (!pts_.empty() && t < pts_.back().first)
+    throw std::invalid_argument("Pwl::add: breakpoints must be time-ordered");
+  pts_.emplace_back(t, y);
+}
+
+double Pwl::operator()(double t) const {
+  if (pts_.empty()) return 0.0;
+  if (t <= pts_.front().first) return pts_.front().second;
+  if (t >= pts_.back().first) return pts_.back().second;
+  // Binary search for the segment containing t.
+  auto it = std::upper_bound(pts_.begin(), pts_.end(), t,
+                             [](double tv, const auto& p) { return tv < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.first - lo.first;
+  if (span <= 0.0) return hi.second;
+  const double frac = (t - lo.first) / span;
+  return lo.second + frac * (hi.second - lo.second);
+}
+
+Pwl trapezoid(double base, double amplitude, double t_delay, double t_rise, double t_width,
+              double t_fall) {
+  Pwl p;
+  p.add(0.0, base);
+  p.add(t_delay, base);
+  p.add(t_delay + t_rise, amplitude);
+  p.add(t_delay + t_rise + t_width, amplitude);
+  p.add(t_delay + t_rise + t_width + t_fall, base);
+  return p;
+}
+
+Pwl bit_stream(const std::string& bits, double bit_time, double t_edge, double v_low,
+               double v_high) {
+  if (bits.empty()) throw std::invalid_argument("bit_stream: empty pattern");
+  auto level = [&](char c) {
+    if (c == '0') return v_low;
+    if (c == '1') return v_high;
+    throw std::invalid_argument("bit_stream: pattern must contain only 0/1");
+  };
+  Pwl p;
+  p.add(0.0, level(bits[0]));
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    if (bits[i] == bits[i - 1]) continue;
+    const double t = static_cast<double>(i) * bit_time;
+    p.add(t, level(bits[i - 1]));
+    p.add(t + t_edge, level(bits[i]));
+  }
+  return p;
+}
+
+double Lcg::uniform() {
+  // Numerical Recipes 64-bit LCG constants.
+  state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  return static_cast<double>(state_ >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::uint32_t Lcg::below(std::uint32_t n) {
+  return static_cast<std::uint32_t>(uniform() * n) % n;
+}
+
+Pwl multilevel_signal(double v_min, double v_max, int n_levels, int n_steps, double t_hold,
+                      double t_edge, std::uint64_t seed) {
+  if (n_levels < 2) throw std::invalid_argument("multilevel_signal: need >= 2 levels");
+  if (n_steps < 1) throw std::invalid_argument("multilevel_signal: need >= 1 steps");
+  Lcg rng(seed);
+  Pwl p;
+  double t = 0.0;
+  double level = v_min;
+  p.add(t, level);
+  for (int k = 0; k < n_steps; ++k) {
+    // Pick a level different from the current one so every step excites
+    // the port dynamics.
+    double next = level;
+    for (int guard = 0; guard < 16 && next == level; ++guard) {
+      const auto idx = rng.below(static_cast<std::uint32_t>(n_levels));
+      next = v_min + (v_max - v_min) * static_cast<double>(idx) /
+                         static_cast<double>(n_levels - 1);
+    }
+    t += t_hold;
+    p.add(t, level);
+    t += t_edge;
+    p.add(t, next);
+    level = next;
+  }
+  t += t_hold;
+  p.add(t, level);
+  return p;
+}
+
+Pwl staircase(double v_min, double v_max, int n_steps, double t_hold, double t_edge) {
+  if (n_steps < 1) throw std::invalid_argument("staircase: need >= 1 steps");
+  Pwl p;
+  double t = 0.0;
+  double level = v_min;
+  p.add(t, level);
+  for (int k = 1; k <= n_steps; ++k) {
+    const double next = v_min + (v_max - v_min) * static_cast<double>(k) /
+                                    static_cast<double>(n_steps);
+    t += t_hold;
+    p.add(t, level);
+    t += t_edge;
+    p.add(t, next);
+    level = next;
+  }
+  t += t_hold;
+  p.add(t, level);
+  return p;
+}
+
+}  // namespace emc::sig

@@ -1,0 +1,68 @@
+// Time-domain stimulus builders: piecewise-linear sources, trapezoidal
+// pulses, digital bit streams, and the multilevel identification signals
+// used to estimate the parametric macromodels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace emc::sig {
+
+/// Piecewise-linear time function defined by (t, y) breakpoints.
+/// Constant extrapolation outside the breakpoint range.
+class Pwl {
+ public:
+  Pwl() = default;
+  explicit Pwl(std::vector<std::pair<double, double>> points);
+
+  double operator()(double t) const;
+
+  /// Append a breakpoint; times must be non-decreasing.
+  void add(double t, double y);
+
+  const std::vector<std::pair<double, double>>& points() const { return pts_; }
+
+ private:
+  std::vector<std::pair<double, double>> pts_;
+};
+
+/// Single trapezoidal pulse: base level outside
+/// [t_delay, t_delay + rise + width + fall], `amplitude` on the flat top.
+Pwl trapezoid(double base, double amplitude, double t_delay, double t_rise, double t_width,
+              double t_fall);
+
+/// Digital bit stream, e.g. "010110". Each bit lasts `bit_time`; edges are
+/// linear ramps of `t_edge`. Levels are v_low / v_high. The first bit level
+/// holds from t = 0 (any leading edge from an implicit previous bit equal
+/// to the first bit is omitted).
+Pwl bit_stream(const std::string& bits, double bit_time, double t_edge, double v_low,
+               double v_high);
+
+/// Deterministic 64-bit LCG (reproducible across platforms), used by the
+/// identification-signal designers.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform integer in [0, n).
+  std::uint32_t below(std::uint32_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Multilevel identification signal: a staircase of `n_steps` random levels
+/// in [v_min, v_max], each held for `t_hold` with linear transitions of
+/// `t_edge`. This is the "multilevel voltage waveform" of the paper used to
+/// excite the static and dynamic nonlinearities of a port.
+Pwl multilevel_signal(double v_min, double v_max, int n_levels, int n_steps, double t_hold,
+                      double t_edge, std::uint64_t seed);
+
+/// Staircase spanning [v_min, v_max] in `n_steps` equal increments (the
+/// "few steps spanning the supply range" used for ARX estimation).
+Pwl staircase(double v_min, double v_max, int n_steps, double t_hold, double t_edge);
+
+}  // namespace emc::sig

@@ -1,0 +1,70 @@
+#include "signal/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emc::sig {
+
+Waveform::Waveform(double t0, double dt, std::vector<double> samples)
+    : t0_(t0), dt_(dt), y_(std::move(samples)) {
+  if (dt <= 0.0) throw std::invalid_argument("Waveform: dt must be positive");
+}
+
+Waveform Waveform::sample(const std::function<double(double)>& f, double t0, double dt,
+                          std::size_t n) {
+  std::vector<double> y(n);
+  for (std::size_t k = 0; k < n; ++k) y[k] = f(t0 + dt * static_cast<double>(k));
+  return Waveform(t0, dt, std::move(y));
+}
+
+double Waveform::value_at(double t) const {
+  if (y_.empty()) return 0.0;
+  const double u = (t - t0_) / dt_;
+  if (u <= 0.0) return y_.front();
+  const auto last = static_cast<double>(y_.size() - 1);
+  if (u >= last) return y_.back();
+  const auto k = static_cast<std::size_t>(u);
+  const double frac = u - static_cast<double>(k);
+  return y_[k] * (1.0 - frac) + y_[k + 1] * frac;
+}
+
+Waveform Waveform::resampled(double t0, double dt, std::size_t n) const {
+  std::vector<double> y(n);
+  for (std::size_t k = 0; k < n; ++k) y[k] = value_at(t0 + dt * static_cast<double>(k));
+  return Waveform(t0, dt, std::move(y));
+}
+
+Waveform Waveform::slice(std::size_t first, std::size_t count) const {
+  if (first + count > y_.size()) throw std::out_of_range("Waveform::slice: out of range");
+  std::vector<double> y(y_.begin() + static_cast<std::ptrdiff_t>(first),
+                        y_.begin() + static_cast<std::ptrdiff_t>(first + count));
+  return Waveform(time_at(first), dt_, std::move(y));
+}
+
+Waveform& Waveform::operator+=(const Waveform& other) {
+  if (other.size() != size()) throw std::invalid_argument("Waveform+=: length mismatch");
+  for (std::size_t k = 0; k < y_.size(); ++k) y_[k] += other.y_[k];
+  return *this;
+}
+
+Waveform& Waveform::operator-=(const Waveform& other) {
+  if (other.size() != size()) throw std::invalid_argument("Waveform-=: length mismatch");
+  for (std::size_t k = 0; k < y_.size(); ++k) y_[k] -= other.y_[k];
+  return *this;
+}
+
+Waveform& Waveform::operator*=(double s) {
+  for (auto& v : y_) v *= s;
+  return *this;
+}
+
+double Waveform::min_value() const {
+  return y_.empty() ? 0.0 : *std::min_element(y_.begin(), y_.end());
+}
+
+double Waveform::max_value() const {
+  return y_.empty() ? 0.0 : *std::max_element(y_.begin(), y_.end());
+}
+
+}  // namespace emc::sig

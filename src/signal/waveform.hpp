@@ -1,0 +1,59 @@
+// Uniformly sampled waveform: the exchange format between the circuit
+// simulator, the identification algorithms and the validation metrics.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace emc::sig {
+
+/// A uniformly sampled real-valued signal y(t0 + k*dt), k = 0..n-1.
+class Waveform {
+ public:
+  Waveform() = default;
+  Waveform(double t0, double dt, std::vector<double> samples);
+
+  /// Sample a time function on a uniform grid [t0, t0 + n*dt).
+  static Waveform sample(const std::function<double(double)>& f, double t0, double dt,
+                         std::size_t n);
+
+  double t0() const { return t0_; }
+  double dt() const { return dt_; }
+  std::size_t size() const { return y_.size(); }
+  bool empty() const { return y_.empty(); }
+  double t_end() const { return t0_ + (y_.empty() ? 0.0 : dt_ * static_cast<double>(y_.size() - 1)); }
+
+  double operator[](std::size_t k) const { return y_[k]; }
+  double& operator[](std::size_t k) { return y_[k]; }
+  const std::vector<double>& samples() const { return y_; }
+  std::vector<double>& samples() { return y_; }
+  double time_at(std::size_t k) const { return t0_ + dt_ * static_cast<double>(k); }
+
+  /// Linear interpolation; clamps outside the record.
+  double value_at(double t) const;
+
+  /// Resample onto a new uniform grid (linear interpolation, clamped).
+  Waveform resampled(double t0, double dt, std::size_t n) const;
+
+  /// Extract samples [first, first+count) as a new waveform.
+  Waveform slice(std::size_t first, std::size_t count) const;
+
+  Waveform& operator+=(const Waveform& other);
+  Waveform& operator-=(const Waveform& other);
+  Waveform& operator*=(double s);
+  friend Waveform operator-(Waveform a, const Waveform& b) { return a -= b; }
+  friend Waveform operator+(Waveform a, const Waveform& b) { return a += b; }
+  friend Waveform operator*(Waveform a, double s) { return a *= s; }
+
+  double min_value() const;
+  double max_value() const;
+
+ private:
+  double t0_ = 0.0;
+  double dt_ = 1.0;
+  std::vector<double> y_;
+};
+
+}  // namespace emc::sig

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/devices_nonlinear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+#include "signal/metrics.hpp"
+#include "signal/sources.hpp"
+
+using namespace emc::ckt;
+
+TEST(DiodeModel, ForwardDropAbout0p6V) {
+  // 5 V through 1 kohm into a diode: V_f should settle near 0.6-0.75 V.
+  Circuit ckt;
+  const int vin = ckt.node();
+  const int a = ckt.node();
+  ckt.add<VSource>(vin, ckt.ground(), 5.0);
+  ckt.add<Resistor>(vin, a, 1000.0);
+  ckt.add<Diode>(a, ckt.ground());
+
+  TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.t_stop = 2e-9;
+  auto res = run_transient(ckt, opt);
+  const double vf = res.waveform(a)[0];
+  EXPECT_GT(vf, 0.5);
+  EXPECT_LT(vf, 0.8);
+}
+
+TEST(DiodeModel, ReverseBlocksCurrent) {
+  Circuit ckt;
+  const int vin = ckt.node();
+  const int a = ckt.node();
+  ckt.add<VSource>(vin, ckt.ground(), -5.0);
+  ckt.add<Resistor>(vin, a, 1000.0);
+  ckt.add<Diode>(a, ckt.ground());
+
+  TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.t_stop = 2e-9;
+  auto res = run_transient(ckt, opt);
+  // Reverse leakage only: node a sits essentially at -5 V.
+  EXPECT_NEAR(res.waveform(a)[0], -5.0, 0.01);
+}
+
+TEST(DiodeModel, EvalContinuousAcrossOverflowGuard) {
+  Diode d(1, 0);
+  const double nvt = 0.02585;
+  const double vlim = 40.0 * nvt;
+  const auto [i_lo, g_lo] = d.eval(vlim - 1e-9);
+  const auto [i_hi, g_hi] = d.eval(vlim + 1e-9);
+  EXPECT_NEAR(i_lo, i_hi, std::abs(i_lo) * 1e-6);
+  EXPECT_NEAR(g_lo, g_hi, std::abs(g_lo) * 1e-3);
+}
+
+TEST(MosfetModel, CutoffSaturationTriodeCurrents) {
+  MosParams p;
+  p.kp = 200e-6;
+  p.vt0 = 0.7;
+  p.lambda = 0.0;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  Mosfet m(1, 2, 0, p);
+  const double beta = p.beta();
+
+  // Cut-off.
+  EXPECT_NEAR(m.drain_current(5.0, 0.5, 0.0), 0.0, 1e-9);
+  // Saturation: id = beta/2 * vov^2.
+  const double id_sat = m.drain_current(5.0, 1.7, 0.0);
+  EXPECT_NEAR(id_sat, 0.5 * beta * 1.0, 1e-9);
+  // Triode: vds = 0.5 < vov = 1: id = beta*(vov*vds - vds^2/2).
+  const double id_tri = m.drain_current(0.5, 1.7, 0.0);
+  EXPECT_NEAR(id_tri, beta * (1.0 * 0.5 - 0.125), 1e-9);
+}
+
+TEST(MosfetModel, SymmetricInDrainSourceSwap) {
+  MosParams p;
+  p.lambda = 0.0;
+  Mosfet m(1, 2, 3, p);
+  // Current with terminals reversed must flip sign exactly.
+  const double i_fwd = m.drain_current(1.2, 2.0, 0.2);
+  Mosfet m_rev(3, 2, 1, p);
+  const double i_rev = m_rev.drain_current(0.2, 2.0, 1.2);
+  EXPECT_NEAR(i_fwd, -i_rev, 1e-15);
+}
+
+TEST(MosfetModel, PmosMirrorsNmos) {
+  MosParams pn;
+  pn.type = MosType::Nmos;
+  pn.lambda = 0.0;
+  MosParams pp = pn;
+  pp.type = MosType::Pmos;
+  Mosfet n(1, 2, 0, pn);
+  Mosfet pm(1, 2, 0, pp);
+  // Mirrored bias must give mirrored current.
+  const double in = n.drain_current(1.0, 1.5, 0.0);
+  const double ip = pm.drain_current(-1.0, -1.5, 0.0);
+  EXPECT_NEAR(in, -ip, 1e-15);
+}
+
+TEST(MosfetModel, ChannelLengthModulationIncreasesId) {
+  MosParams p0;
+  p0.lambda = 0.0;
+  MosParams p1 = p0;
+  p1.lambda = 0.1;
+  Mosfet m0(1, 2, 0, p0), m1(1, 2, 0, p1);
+  EXPECT_GT(m1.drain_current(3.0, 1.5, 0.0), m0.drain_current(3.0, 1.5, 0.0));
+}
+
+namespace {
+
+/// A minimal resistive-load NMOS inverter for DC transfer checks.
+double nmos_inverter_out(double vin_val) {
+  Circuit ckt;
+  const int vdd = ckt.node();
+  const int vin = ckt.node();
+  const int out = ckt.node();
+  ckt.add<VSource>(vdd, ckt.ground(), 3.3);
+  ckt.add<VSource>(vin, ckt.ground(), vin_val);
+  ckt.add<Resistor>(vdd, out, 10e3);
+  MosParams p;
+  p.kp = 100e-6;
+  p.vt0 = 0.6;
+  p.w = 20e-6;
+  p.l = 1e-6;
+  ckt.add<Mosfet>(out, vin, ckt.ground(), p);
+
+  TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.t_stop = 2e-9;
+  auto res = run_transient(ckt, opt);
+  return res.waveform(out)[0];
+}
+
+}  // namespace
+
+TEST(MosfetCircuit, ResistiveInverterTransfer) {
+  // Below threshold the output stays high; far above it is pulled low.
+  EXPECT_NEAR(nmos_inverter_out(0.0), 3.3, 1e-3);
+  EXPECT_LT(nmos_inverter_out(3.3), 0.3);
+  // Monotone decreasing transfer.
+  double prev = 10.0;
+  for (double v = 0.0; v <= 3.3; v += 0.3) {
+    const double o = nmos_inverter_out(v);
+    EXPECT_LE(o, prev + 1e-6);
+    prev = o;
+  }
+}
+
+TEST(MosfetCircuit, CmosInverterRailToRail) {
+  Circuit ckt;
+  const int vdd = ckt.node();
+  const int vin = ckt.node();
+  const int out = ckt.node();
+  ckt.add<VSource>(vdd, ckt.ground(), 2.5);
+  emc::sig::Pwl sweep({{0.0, 0.0}, {10e-9, 2.5}});
+  ckt.add<VSource>(vin, ckt.ground(), [sweep](double t) { return sweep(t); });
+
+  MosParams pn;
+  pn.kp = 200e-6;
+  pn.vt0 = 0.5;
+  pn.w = 10e-6;
+  pn.l = 0.5e-6;
+  MosParams pp;
+  pp.type = MosType::Pmos;
+  pp.kp = 80e-6;
+  pp.vt0 = 0.5;
+  pp.w = 25e-6;
+  pp.l = 0.5e-6;
+  ckt.add<Mosfet>(out, vin, ckt.ground(), pn);
+  ckt.add<Mosfet>(out, vin, vdd, pp);
+  ckt.add<Capacitor>(out, ckt.ground(), 10e-15);
+
+  TransientOptions opt;
+  opt.dt = 10e-12;
+  opt.t_stop = 10e-9;
+  auto res = run_transient(ckt, opt);
+  const auto v = res.waveform(out);
+  EXPECT_NEAR(v[10], 2.5, 0.01);              // input low -> output at VDD
+  EXPECT_NEAR(v[v.size() - 2], 0.0, 0.01);    // input high -> output at GND
+  // The transfer passes mid-rail somewhere in the middle of the sweep.
+  const auto cross = emc::sig::threshold_crossings(v, 1.25);
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_GT(cross[0], 2e-9);
+  EXPECT_LT(cross[0], 8e-9);
+}
+
+TEST(EsdClampPair, ClampsOutsideRails) {
+  // Receiver-style protection: diode to VDD and diode from GND.
+  Circuit ckt;
+  const int vdd = ckt.node();
+  const int pin = ckt.node();
+  const int src = ckt.node();
+  ckt.add<VSource>(vdd, ckt.ground(), 1.8);
+  emc::sig::Pwl tri({{0.0, 0.0}, {5e-9, 4.0}, {10e-9, -2.0}});
+  ckt.add<VSource>(src, ckt.ground(), [tri](double t) { return tri(t); });
+  ckt.add<Resistor>(src, pin, 200.0);
+  DiodeParams dp;
+  dp.is = 1e-15;
+  ckt.add<Diode>(pin, vdd, dp);   // up clamp
+  ckt.add<Diode>(ckt.ground(), pin, dp);  // down clamp
+
+  TransientOptions opt;
+  opt.dt = 10e-12;
+  opt.t_stop = 10e-9;
+  auto res = run_transient(ckt, opt);
+  const auto v = res.waveform(pin);
+  EXPECT_LT(v.max_value(), 1.8 + 1.0);   // clamped above VDD + V_f
+  EXPECT_GT(v.min_value(), -1.0);        // clamped below GND - V_f
+  // And genuinely clamped: the unclamped source reaches 4 V / -2 V.
+  EXPECT_LT(v.max_value(), 3.0);
+  EXPECT_GT(v.min_value(), -1.5);
+}

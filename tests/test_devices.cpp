@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+#include "devices/reference_driver.hpp"
+#include "devices/reference_receiver.hpp"
+#include "signal/metrics.hpp"
+#include "signal/sources.hpp"
+
+using namespace emc;
+using namespace emc::ckt;
+using namespace emc::dev;
+
+namespace {
+
+/// Run a reference driver into a resistive load; return the pad waveform.
+sig::Waveform drive_into_load(const DriverTech& tech, const std::string& bits,
+                              double bit_time, double r_load, double t_stop) {
+  Circuit ckt;
+  auto pattern = sig::bit_stream(bits, bit_time, 0.2e-9, 0.0, tech.vdd);
+  auto inst = build_reference_driver(ckt, tech, [pattern](double t) { return pattern(t); });
+  ckt.add<Resistor>(inst.pad, ckt.ground(), r_load);
+
+  TransientOptions opt;
+  opt.dt = 25e-12;
+  opt.t_stop = t_stop;
+  auto res = run_transient(ckt, opt);
+  return res.waveform(inst.pad);
+}
+
+}  // namespace
+
+TEST(ReferenceDriver, StaticLevelsReachRails) {
+  const auto tech = DriverTech::md1_lvc244();
+  // Steady low input -> pad low; steady high -> pad near VDD (light load).
+  const auto v_low = drive_into_load(tech, "00", 5e-9, 1e6, 8e-9);
+  EXPECT_NEAR(v_low[v_low.size() - 1], 0.0, 0.05);
+  const auto v_high = drive_into_load(tech, "11", 5e-9, 1e6, 8e-9);
+  EXPECT_NEAR(v_high[v_high.size() - 1], tech.vdd, 0.05);
+}
+
+TEST(ReferenceDriver, DrivesHeavyLoadWithDrop) {
+  const auto tech = DriverTech::md1_lvc244();
+  // Into 50 ohm the High level sags below VDD: finite output resistance.
+  const auto v = drive_into_load(tech, "11", 5e-9, 50.0, 10e-9);
+  const double vf = v[v.size() - 1];
+  EXPECT_GT(vf, 0.5 * tech.vdd);
+  EXPECT_LT(vf, 0.97 * tech.vdd);
+}
+
+TEST(ReferenceDriver, TransitionHasFiniteSlew) {
+  const auto tech = DriverTech::md1_lvc244();
+  const auto v = drive_into_load(tech, "01", 5e-9, 1e3, 12e-9);
+  // 20%-80% rise time of the output edge must be resolvable (>= 100 ps)
+  // and fast (<= 3 ns) for a buffer of this class.
+  const auto t20 = sig::threshold_crossings(v, 0.2 * tech.vdd);
+  const auto t80 = sig::threshold_crossings(v, 0.8 * tech.vdd);
+  ASSERT_FALSE(t20.empty());
+  ASSERT_FALSE(t80.empty());
+  const double rise = t80.front() - t20.front();
+  EXPECT_GT(rise, 0.1e-9);
+  EXPECT_LT(rise, 3e-9);
+}
+
+TEST(ReferenceDriver, AllTechPresetsSettleBothStates) {
+  for (const auto& tech :
+       {DriverTech::md1_lvc244(), DriverTech::md2_ibm18(), DriverTech::md3_ibm25()}) {
+    const auto v0 = drive_into_load(tech, "00", 4e-9, 200.0, 6e-9);
+    const auto v1 = drive_into_load(tech, "11", 4e-9, 200.0, 6e-9);
+    EXPECT_NEAR(v0[v0.size() - 1], 0.0, 0.1) << "vdd = " << tech.vdd;
+    EXPECT_GT(v1[v1.size() - 1], 0.8 * tech.vdd) << "vdd = " << tech.vdd;
+  }
+}
+
+TEST(ReferenceDriver, CornersOrderDriveStrength) {
+  const auto typ = DriverTech::md1_lvc244();
+  const auto slow = typ.corner_slow();
+  const auto fast = typ.corner_fast();
+  // Into the same heavy load, the fast corner holds the highest High level
+  // (strongest pull-up), the slow corner the lowest.
+  const double v_typ = drive_into_load(typ, "11", 4e-9, 50.0, 8e-9)[319];
+  const double v_slow = drive_into_load(slow, "11", 4e-9, 50.0, 8e-9)[319];
+  const double v_fast = drive_into_load(fast, "11", 4e-9, 50.0, 8e-9)[319];
+  EXPECT_LT(v_slow, v_typ);
+  EXPECT_LT(v_typ, v_fast);
+}
+
+TEST(ReferenceDriver, StaticFixtureMatchesSteadyState) {
+  // The gate-forced static fixture must sit at the same DC point as the
+  // full driver after it settles.
+  const auto tech = DriverTech::md2_ibm18();
+  const auto v_full = drive_into_load(tech, "11", 4e-9, 100.0, 8e-9);
+
+  Circuit ckt;
+  auto inst = build_reference_driver_static(ckt, tech, /*gate_high=*/true);
+  ckt.add<Resistor>(inst.pad, ckt.ground(), 100.0);
+  TransientOptions opt;
+  opt.dt = 25e-12;
+  opt.t_stop = 4e-9;
+  auto res = run_transient(ckt, opt);
+  const auto v_static = res.waveform(inst.pad);
+
+  EXPECT_NEAR(v_static[v_static.size() - 1], v_full[v_full.size() - 1], 0.02);
+}
+
+TEST(ReferenceDriver, PulsePropagatesThroughPackage) {
+  // A short pulse must come out with package-induced ringing but the
+  // correct polarity and width at mid-swing.
+  const auto tech = DriverTech::md3_ibm25();
+  const auto v = drive_into_load(tech, "010", 2e-9, 200.0, 8e-9);
+  const auto cross = sig::threshold_crossings(v, tech.vdd / 2, 0.5e-9);
+  ASSERT_GE(cross.size(), 2u);
+  const double width = cross[1] - cross[0];
+  EXPECT_NEAR(width, 2e-9, 0.5e-9);
+}
+
+TEST(ReferenceReceiver, LinearCapacitiveInsideRails) {
+  // Inside the rails the pin current should integrate like the pad cap:
+  // a clean ramp of slope s draws i ~ C_total * s.
+  const auto tech = ReceiverTech::md4_ibm18();
+  Circuit ckt;
+  auto inst = build_reference_receiver(ckt, tech);
+  const int src = ckt.node();
+  sig::Pwl ramp({{0.0, 0.2}, {1e-9, 0.2}, {3e-9, 1.2}, {10e-9, 1.2}});
+  auto& vs = ckt.add<VSource>(src, ckt.ground(), [ramp](double t) { return ramp(t); });
+  ckt.add<Resistor>(src, inst.pin, 5.0);
+
+  TransientOptions opt;
+  opt.dt = 25e-12;
+  opt.t_stop = 10e-9;
+  auto res = run_transient(ckt, opt);
+  const auto i = res.waveform(vs.current_id());
+  // Mid-ramp the delivered current (into the pin) is C * dv/dt.
+  const double slope = 1.0 / 2e-9;
+  const double c_total = tech.c_pad + tech.c_esd;
+  EXPECT_NEAR(-i.value_at(2e-9), c_total * slope, 0.2 * c_total * slope);
+  // After the ramp: essentially no static current inside the rails.
+  EXPECT_NEAR(i.value_at(9e-9), 0.0, 1e-5);
+}
+
+TEST(ReferenceReceiver, ClampsEngageOutsideRails) {
+  const auto tech = ReceiverTech::md4_ibm18();
+
+  auto static_current = [&](double v_force) {
+    Circuit ckt;
+    auto inst = build_reference_receiver(ckt, tech);
+    const int src = ckt.node();
+    auto& vs = ckt.add<VSource>(src, ckt.ground(), v_force);
+    ckt.add<Resistor>(src, inst.pin, 1.0);
+    TransientOptions opt;
+    opt.dt = 25e-12;
+    opt.t_stop = 3e-9;
+    auto res = run_transient(ckt, opt);
+    return -res.waveform(vs.current_id())[res.steps() - 1];
+  };
+
+  // Inside the rails: microamp leakage. Outside: clamp conduction.
+  EXPECT_LT(std::abs(static_current(0.9)), 1e-5);
+  EXPECT_GT(static_current(tech.vdd + 1.0), 1e-3);   // up clamp conducts in
+  EXPECT_LT(static_current(-1.0), -1e-3);            // down clamp pulls out
+}
+
+TEST(ReferenceReceiver, ProtectionCurrentGrowsWithOvervoltage) {
+  const auto tech = ReceiverTech::md4_ibm18();
+  auto static_current = [&](double v_force) {
+    Circuit ckt;
+    auto inst = build_reference_receiver(ckt, tech);
+    const int src = ckt.node();
+    auto& vs = ckt.add<VSource>(src, ckt.ground(), v_force);
+    ckt.add<Resistor>(src, inst.pin, 1.0);
+    TransientOptions opt;
+    opt.dt = 25e-12;
+    opt.t_stop = 3e-9;
+    auto res = run_transient(ckt, opt);
+    return -res.waveform(vs.current_id())[res.steps() - 1];
+  };
+  const double i1 = static_current(tech.vdd + 0.8);
+  const double i2 = static_current(tech.vdd + 1.2);
+  EXPECT_GT(i2, i1 * 1.5);
+}

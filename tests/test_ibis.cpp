@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+#include "devices/reference_driver.hpp"
+#include "ibis/device.hpp"
+#include "ibis/extract.hpp"
+#include "signal/metrics.hpp"
+#include "signal/sources.hpp"
+
+using namespace emc;
+
+class IbisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tech_ = new dev::DriverTech(dev::DriverTech::md1_lvc244());
+    ibis::ExtractionOptions opt;
+    opt.n_points = 25;  // keep extraction fast in tests
+    model_ = new ibis::IbisModel(ibis::extract_ibis(*tech_, ibis::Corner::Typical, opt));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete tech_;
+    model_ = nullptr;
+    tech_ = nullptr;
+  }
+
+  static dev::DriverTech* tech_;
+  static ibis::IbisModel* model_;
+};
+
+dev::DriverTech* IbisTest::tech_ = nullptr;
+ibis::IbisModel* IbisTest::model_ = nullptr;
+
+TEST_F(IbisTest, TablesAreValidAndMonotone) {
+  ASSERT_TRUE(model_->pullup.valid());
+  ASSERT_TRUE(model_->pulldown.valid());
+  for (const auto* t : {&model_->pullup, &model_->pulldown}) {
+    for (std::size_t k = 1; k < t->points.size(); ++k) {
+      EXPECT_GT(t->points[k].first, t->points[k - 1].first);
+      EXPECT_GE(t->points[k].second, t->points[k - 1].second - 2e-3);
+    }
+  }
+}
+
+TEST_F(IbisTest, TableSignsMatchDriverAction) {
+  // Pullup at v = 0: sources current (negative into the pad); ~0 at VDD.
+  auto at = [](const ibis::IvTable& t, double v) {
+    double best = 1e9, i = 0.0;
+    for (const auto& p : t.points)
+      if (std::abs(p.first - v) < best) {
+        best = std::abs(p.first - v);
+        i = p.second;
+      }
+    return i;
+  };
+  EXPECT_LT(at(model_->pullup, 0.0), -0.05);
+  EXPECT_NEAR(at(model_->pullup, tech_->vdd), 0.0, 0.03);
+  EXPECT_GT(at(model_->pulldown, tech_->vdd), 0.05);
+  EXPECT_NEAR(at(model_->pulldown, 0.0), 0.0, 0.03);
+}
+
+TEST_F(IbisTest, RampRatesArePlausible) {
+  // LVC-class edges: between 0.5 and 10 V/ns at the pad.
+  EXPECT_GT(model_->ramp_up, 0.5e9);
+  EXPECT_LT(model_->ramp_up, 10e9);
+  EXPECT_GT(model_->ramp_down, 0.5e9);
+  EXPECT_LT(model_->ramp_down, 10e9);
+  EXPECT_GT(model_->c_comp, 1e-12);
+}
+
+TEST_F(IbisTest, CornersOrderDriveStrength) {
+  ibis::ExtractionOptions opt;
+  opt.n_points = 9;
+  const auto slow = ibis::extract_ibis(*tech_, ibis::Corner::Slow, opt);
+  const auto fast = ibis::extract_ibis(*tech_, ibis::Corner::Fast, opt);
+  // Compare pull-down strength at VDD/2 (positive currents).
+  auto at_mid = [&](const ibis::IbisModel& m) {
+    double best = 1e9, i = 0.0;
+    for (const auto& p : m.pulldown.points)
+      if (std::abs(p.first - tech_->vdd / 2) < best) {
+        best = std::abs(p.first - tech_->vdd / 2);
+        i = p.second;
+      }
+    return i;
+  };
+  EXPECT_LT(at_mid(slow), at_mid(*model_));
+  EXPECT_LT(at_mid(*model_), at_mid(fast));
+  EXPECT_LT(slow.ramp_up, fast.ramp_up);
+}
+
+TEST_F(IbisTest, CornerNames) {
+  EXPECT_EQ(ibis::corner_name(ibis::Corner::Slow), "slow");
+  EXPECT_EQ(ibis::corner_name(ibis::Corner::Typical), "typical");
+  EXPECT_EQ(ibis::corner_name(ibis::Corner::Fast), "fast");
+}
+
+namespace {
+
+sig::Waveform run_ibis_on_load(const ibis::IbisModel& m, const std::string& bits,
+                               double bit_time, double r_load, double t_stop) {
+  ckt::Circuit c;
+  const int pad = c.node();
+  c.add<ibis::IbisDriverDevice>(pad, m, bits, bit_time);
+  c.add<ckt::Resistor>(pad, c.ground(), r_load);
+  ckt::TransientOptions topt;
+  topt.dt = 25e-12;
+  topt.t_stop = t_stop;
+  auto res = ckt::run_transient(c, topt);
+  return res.waveform(pad);
+}
+
+}  // namespace
+
+TEST_F(IbisTest, DeviceSettlesAtTableLevels) {
+  // Steady High into 50 ohm must match the pullup-table/load intersection,
+  // which is the same settled level as the reference driver's.
+  const auto v = run_ibis_on_load(*model_, "11", 3e-9, 50.0, 6e-9);
+
+  ckt::Circuit c;
+  auto inst = dev::build_reference_driver_static(c, *tech_, true);
+  c.add<ckt::Resistor>(inst.pad, c.ground(), 50.0);
+  ckt::TransientOptions topt;
+  topt.dt = 25e-12;
+  topt.t_stop = 6e-9;
+  auto res = ckt::run_transient(c, topt);
+  const auto v_ref = res.waveform(inst.pad);
+
+  EXPECT_NEAR(v[v.size() - 1], v_ref[v_ref.size() - 1], 0.05);
+}
+
+TEST_F(IbisTest, DeviceEdgeRateFollowsRamp) {
+  const auto v = run_ibis_on_load(*model_, "01", 4e-9, 1e6, 10e-9);
+  const auto t20 = sig::threshold_crossings(v, 0.2 * tech_->vdd);
+  const auto t80 = sig::threshold_crossings(v, 0.8 * tech_->vdd);
+  ASSERT_FALSE(t20.empty());
+  ASSERT_FALSE(t80.empty());
+  const double slew = 0.6 * tech_->vdd / (t80.front() - t20.front());
+  // The lightly loaded pad edge should be within ~2.5x of the extracted
+  // (50-ohm) ramp rate.
+  EXPECT_GT(slew, model_->ramp_up / 2.5);
+  EXPECT_LT(slew, model_->ramp_up * 2.5);
+}
+
+TEST_F(IbisTest, DeviceTracksReferenceRoughly) {
+  // IBIS is the paper's "coarse" baseline: it should follow the reference
+  // transition on a resistive load within ~15% RMS, clearly worse than
+  // the PW-RBF model but in the right ballpark.
+  ckt::Circuit c;
+  auto pattern = sig::bit_stream("01", 3e-9, 0.1e-9, 0.0, tech_->vdd);
+  auto inst = dev::build_reference_driver(c, *tech_,
+                                          [pattern](double t) { return pattern(t); });
+  c.add<ckt::Resistor>(inst.pad, c.ground(), 100.0);
+  ckt::TransientOptions topt;
+  topt.dt = 25e-12;
+  topt.t_stop = 9e-9;
+  auto res = ckt::run_transient(c, topt);
+  const auto v_ref = res.waveform(inst.pad);
+
+  const auto v_ibis = run_ibis_on_load(*model_, "01", 3e-9, 100.0, 9e-9);
+  const double rel = sig::rms_error(v_ref, v_ibis) / sig::rms(v_ref);
+  EXPECT_LT(rel, 0.15);
+  EXPECT_GT(rel, 0.001);  // and it is not magically exact
+}
+
+TEST_F(IbisTest, DeviceValidation) {
+  ibis::IbisModel empty;
+  EXPECT_THROW(ibis::IbisDriverDevice(1, empty, "01", 1e-9), std::invalid_argument);
+  EXPECT_THROW(ibis::IbisDriverDevice(1, *model_, "", 1e-9), std::invalid_argument);
+  EXPECT_THROW(ibis::IbisDriverDevice(1, *model_, "01", -1.0), std::invalid_argument);
+}

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ident/arx.hpp"
+#include "signal/sources.hpp"
+
+using namespace emc::ident;
+using emc::sig::Waveform;
+
+namespace {
+
+/// Generate the response of a known ARX system to an input sequence.
+std::vector<double> run_system(const std::vector<double>& v, const std::vector<double>& b,
+                               const std::vector<double>& a) {
+  std::vector<double> i(v.size(), 0.0);
+  const std::size_t h = std::max(b.size() - 1, a.size());
+  for (std::size_t k = h; k < v.size(); ++k) {
+    double y = 0.0;
+    for (std::size_t j = 0; j < b.size(); ++j) y += b[j] * v[k - j];
+    for (std::size_t j = 0; j < a.size(); ++j) y += a[j] * i[k - 1 - j];
+    i[k] = y;
+  }
+  return i;
+}
+
+std::vector<double> multilevel_input(std::size_t n, std::uint64_t seed) {
+  emc::sig::Lcg rng(seed);
+  std::vector<double> v(n);
+  double level = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k % 17 == 0) level = 2.0 * rng.uniform() - 1.0;
+    v[k] = level;
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(ArxFit, RecoversKnownCoefficients) {
+  const std::vector<double> b_true{0.5, -0.2, 0.1};
+  const std::vector<double> a_true{1.2, -0.5};
+  const auto v = multilevel_input(800, 5);
+  const auto i = run_system(v, b_true, a_true);
+
+  const auto m = fit_arx(Waveform(0, 1, v), Waveform(0, 1, i), 2, 2);
+  ASSERT_EQ(m.b.size(), 3u);
+  ASSERT_EQ(m.a.size(), 2u);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(m.b[j], b_true[j], 1e-6);
+  for (std::size_t j = 0; j < 2; ++j) EXPECT_NEAR(m.a[j], a_true[j], 1e-6);
+}
+
+TEST(ArxFit, FirstOrderLowpassStepResponse) {
+  // Discrete RC: i(k) = 0.9 i(k-1) + 0.1 v(k); step input settles at 1.
+  const std::vector<double> b_true{0.1};
+  const std::vector<double> a_true{0.9};
+  auto v = multilevel_input(600, 9);
+  const auto i = run_system(v, b_true, a_true);
+  const auto m = fit_arx(Waveform(0, 1, v), Waveform(0, 1, i), 1, 0);
+
+  EXPECT_NEAR(m.dc_gain(), 1.0, 1e-9);
+  std::vector<double> step(100, 1.0);
+  const auto out = simulate_arx(m, step);
+  EXPECT_NEAR(out.back(), 1.0, 1e-4);
+  EXPECT_LT(out[2], 0.5);  // rises gradually, not instantly
+}
+
+TEST(ArxFit, FreeRunTracksFreshData) {
+  const std::vector<double> b_true{0.3, 0.05};
+  const std::vector<double> a_true{0.6};
+  const auto v = multilevel_input(500, 21);
+  const auto i = run_system(v, b_true, a_true);
+  const auto m = fit_arx(Waveform(0, 1, v), Waveform(0, 1, i), 1, 1);
+
+  const auto v2 = multilevel_input(300, 77);
+  const auto i2 = run_system(v2, b_true, a_true);
+  const auto sim = simulate_arx(m, v2);
+  for (std::size_t k = 10; k < v2.size(); ++k) EXPECT_NEAR(sim[k], i2[k], 1e-6);
+}
+
+TEST(ArxFit, CapacitorLikeDifferentiator) {
+  // A discrete capacitor: i(k) = C/dt * (v(k) - v(k-1)) is exactly ARX
+  // with b = [C/dt, -C/dt], a = [] -- the structure used for receivers.
+  const double c_over_dt = 4.0;
+  const auto v = multilevel_input(400, 13);
+  std::vector<double> i(v.size(), 0.0);
+  for (std::size_t k = 1; k < v.size(); ++k) i[k] = c_over_dt * (v[k] - v[k - 1]);
+  const auto m = fit_arx(Waveform(0, 1, v), Waveform(0, 1, i), 0, 1);
+  ASSERT_EQ(m.b.size(), 2u);
+  EXPECT_NEAR(m.b[0], c_over_dt, 1e-8);
+  EXPECT_NEAR(m.b[1], -c_over_dt, 1e-8);
+  EXPECT_NEAR(m.dc_gain(), 0.0, 1e-8);
+}
+
+TEST(ArxModel, PredictUsesHistoriesNewestFirst) {
+  ArxModel m;
+  m.b = {2.0, 1.0};
+  m.a = {0.5};
+  // i(k) = 2 v(k) + 1 v(k-1) + 0.5 i(k-1).
+  const double y = m.predict(std::vector<double>{3.0, 4.0}, std::vector<double>{10.0});
+  EXPECT_DOUBLE_EQ(y, 2.0 * 3.0 + 1.0 * 4.0 + 0.5 * 10.0);
+}
+
+TEST(ArxFit, Validation) {
+  Waveform v(0, 1, {1, 2, 3});
+  Waveform i(0, 1, {1, 2});
+  EXPECT_THROW(fit_arx(v, i, 1, 1), std::invalid_argument);
+  Waveform i3(0, 1, {1, 2, 3});
+  EXPECT_THROW(fit_arx(v, i3, -1, 0), std::invalid_argument);
+  EXPECT_THROW(fit_arx(v, i3, 2, 2), std::invalid_argument);  // too short
+}
+
+TEST(ArxModel, DcGainGuardsMarginalSystems) {
+  ArxModel m;
+  m.b = {1.0};
+  m.a = {1.0};  // integrator: 1 - sum(a) = 0
+  EXPECT_THROW(m.dc_gain(), std::runtime_error);
+}

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ident/rbf.hpp"
+#include "signal/sources.hpp"
+
+using namespace emc::ident;
+namespace la = emc::linalg;
+
+namespace {
+
+/// Static nonlinear test function on [-2, 2].
+double bump(double v) { return std::tanh(2.0 * v) + 0.3 * v; }
+
+la::Matrix column(const std::vector<double>& v) {
+  la::Matrix m(v.size(), 1);
+  for (std::size_t r = 0; r < v.size(); ++r) m(r, 0) = v[r];
+  return m;
+}
+
+}  // namespace
+
+TEST(Scaler, StandardizesColumns) {
+  la::Matrix x(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    x(r, 0) = static_cast<double>(r);  // mean 1.5
+    x(r, 1) = 10.0;                    // constant
+  }
+  const Scaler s = Scaler::fit(x);
+  EXPECT_NEAR(s.mean()[0], 1.5, 1e-12);
+  EXPECT_NEAR(s.mean()[1], 10.0, 1e-12);
+  EXPECT_NEAR(s.scale()[1], 1.0, 1e-12);  // constant column passes through
+
+  const la::Matrix z = s.transform(x);
+  double m0 = 0.0, v0 = 0.0;
+  for (std::size_t r = 0; r < 4; ++r) m0 += z(r, 0);
+  EXPECT_NEAR(m0, 0.0, 1e-12);
+  for (std::size_t r = 0; r < 4; ++r) v0 += z(r, 0) * z(r, 0);
+  EXPECT_NEAR(std::sqrt(v0 / 4.0), 1.0, 1e-12);
+}
+
+TEST(NarxDataset, LayoutMatchesDefinition) {
+  // v = [0,1,2,3,4], i = [10,11,12,13,14], orders nv=1, ni=2.
+  emc::sig::Waveform v(0.0, 1.0, {0, 1, 2, 3, 4});
+  emc::sig::Waveform i(0.0, 1.0, {10, 11, 12, 13, 14});
+  NarxOrders ord{1, 2};
+  const auto ds = build_narx_dataset(v, i, ord);
+  ASSERT_EQ(ds.x.rows(), 3u);  // k = 2, 3, 4
+  ASSERT_EQ(ds.x.cols(), 4u);  // v(k), v(k-1), i(k-1), i(k-2)
+  // First row: k = 2 -> [2, 1, 11, 10], y = 12.
+  EXPECT_DOUBLE_EQ(ds.x(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ds.x(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ds.x(0, 2), 11.0);
+  EXPECT_DOUBLE_EQ(ds.x(0, 3), 10.0);
+  EXPECT_DOUBLE_EQ(ds.y[0], 12.0);
+}
+
+TEST(NarxDataset, Validation) {
+  emc::sig::Waveform v(0.0, 1.0, {0, 1});
+  emc::sig::Waveform i(0.0, 1.0, {0, 1, 2});
+  EXPECT_THROW(build_narx_dataset(v, i, NarxOrders{}), std::invalid_argument);
+  emc::sig::Waveform i2(0.0, 1.0, {0, 1});
+  EXPECT_THROW(build_narx_dataset(v, i2, NarxOrders{2, 2}), std::invalid_argument);
+}
+
+TEST(NarxRegressor, FillMatchesDataset) {
+  std::vector<double> v_hist{5.0, 4.0, 3.0};  // v(k), v(k-1), v(k-2)
+  std::vector<double> i_hist{2.0, 1.0};       // i(k-1), i(k-2)
+  NarxOrders ord{2, 2};
+  std::vector<double> reg(5);
+  fill_narx_regressor(v_hist, i_hist, ord, reg);
+  EXPECT_DOUBLE_EQ(reg[0], 5.0);
+  EXPECT_DOUBLE_EQ(reg[2], 3.0);
+  EXPECT_DOUBLE_EQ(reg[3], 2.0);
+  EXPECT_DOUBLE_EQ(reg[4], 1.0);
+}
+
+TEST(RbfFit, RecoversStaticNonlinearity) {
+  // Dense 1-D samples of a smooth function: an RBF net with a handful of
+  // centers must fit it to sub-percent accuracy.
+  std::vector<double> xs, ys;
+  for (int k = 0; k <= 200; ++k) {
+    const double v = -2.0 + 4.0 * k / 200.0;
+    xs.push_back(v);
+    ys.push_back(bump(v));
+  }
+  RbfFitOptions opt;
+  opt.max_basis = 12;
+  opt.sigma = 0.5;
+  const RbfModel m = fit_rbf_ols(column(xs), ys, opt);
+  EXPECT_LE(m.num_basis(), 12u);
+  double worst = 0.0;
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const double e = std::abs(m.eval(std::vector<double>{xs[k]}) - ys[k]);
+    worst = std::max(worst, e);
+  }
+  EXPECT_LT(worst, 0.02);
+}
+
+TEST(RbfFit, ConstantDataGivesConstantModel) {
+  std::vector<double> xs(50), ys(50, 3.25);
+  for (std::size_t k = 0; k < xs.size(); ++k) xs[k] = static_cast<double>(k);
+  RbfFitOptions opt;
+  const RbfModel m = fit_rbf_ols(column(xs), ys, opt);
+  EXPECT_NEAR(m.eval(std::vector<double>{25.0}), 3.25, 1e-9);
+}
+
+TEST(RbfFit, GradientMatchesFiniteDifference) {
+  std::vector<double> xs, ys;
+  for (int k = 0; k <= 100; ++k) {
+    const double v = -1.0 + 0.02 * k;
+    xs.push_back(v);
+    ys.push_back(std::sin(3.0 * v));
+  }
+  RbfFitOptions opt;
+  opt.max_basis = 15;
+  const RbfModel m = fit_rbf_ols(column(xs), ys, opt);
+
+  for (double v : {-0.8, -0.3, 0.0, 0.4, 0.9}) {
+    double grad = 0.0;
+    m.eval_with_grad(std::vector<double>{v}, 0, &grad);
+    const double h = 1e-6;
+    const double fd = (m.eval(std::vector<double>{v + h}) - m.eval(std::vector<double>{v - h})) /
+                      (2.0 * h);
+    EXPECT_NEAR(grad, fd, 1e-4 * std::max(1.0, std::abs(fd))) << "v = " << v;
+  }
+}
+
+TEST(RbfFit, AutoSigmaNotWorseThanFixed) {
+  std::vector<double> xs, ys;
+  for (int k = 0; k <= 300; ++k) {
+    const double v = -2.0 + 4.0 * k / 300.0;
+    xs.push_back(v);
+    ys.push_back(bump(v) + 0.2 * std::sin(6.0 * v));
+  }
+  RbfFitOptions opt;
+  opt.max_basis = 14;
+  const RbfModel fixed = fit_rbf_ols(column(xs), ys, opt);
+  const RbfModel autom = fit_rbf_auto(column(xs), ys, opt);
+
+  double err_fixed = 0.0, err_auto = 0.0;
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    err_fixed += std::pow(fixed.eval(std::vector<double>{xs[k]}) - ys[k], 2);
+    err_auto += std::pow(autom.eval(std::vector<double>{xs[k]}) - ys[k], 2);
+  }
+  EXPECT_LE(err_auto, err_fixed * 1.5);
+}
+
+TEST(RbfFit, DynamicNarxSystemFreeRun) {
+  // Nonlinear first-order system: i(k) = 0.8 i(k-1) + tanh(v(k)).
+  // Identify from a multilevel excitation, then free-run on fresh input.
+  emc::sig::Lcg rng(3);
+  std::vector<double> v(1200), i(1200, 0.0);
+  double level = 0.0;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    if (k % 25 == 0) level = 4.0 * rng.uniform() - 2.0;
+    v[k] = level;
+    if (k > 0) i[k] = 0.8 * i[k - 1] + std::tanh(v[k]);
+  }
+
+  NarxOrders ord{0, 1};  // v(k), i(k-1)
+  emc::sig::Waveform vw(0.0, 1.0, v), iw(0.0, 1.0, i);
+  const auto ds = build_narx_dataset(vw, iw, ord);
+  RbfFitOptions opt;
+  opt.max_basis = 16;
+  opt.sigma = 1.0;
+  const RbfModel m = fit_rbf_ols(ds.x, ds.y, opt);
+
+  // Fresh validation sequence.
+  std::vector<double> v2(400), i2(400, 0.0);
+  level = 0.0;
+  for (std::size_t k = 0; k < v2.size(); ++k) {
+    if (k % 40 == 0) level = 4.0 * rng.uniform() - 2.0;
+    v2[k] = level;
+    if (k > 0) i2[k] = 0.8 * i2[k - 1] + std::tanh(v2[k]);
+  }
+  const auto sim = simulate_narx(m, ord, v2, std::vector<double>{0.0});
+  double rms = 0.0, ref = 0.0;
+  for (std::size_t k = 10; k < v2.size(); ++k) {
+    rms += std::pow(sim[k] - i2[k], 2);
+    ref += i2[k] * i2[k];
+  }
+  EXPECT_LT(std::sqrt(rms / ref), 0.05);  // < 5% relative free-run error
+}
+
+TEST(RbfFit, InputValidation) {
+  la::Matrix x(0, 1);
+  std::vector<double> y;
+  EXPECT_THROW(fit_rbf_ols(x, y, RbfFitOptions{}), std::invalid_argument);
+
+  la::Matrix x2(3, 1);
+  std::vector<double> y2(2);
+  EXPECT_THROW(fit_rbf_ols(x2, y2, RbfFitOptions{}), std::invalid_argument);
+
+  RbfFitOptions bad;
+  bad.max_basis = 0;
+  std::vector<double> y3(3);
+  EXPECT_THROW(fit_rbf_ols(x2, y3, bad), std::invalid_argument);
+}
+
+TEST(RbfModel, ConstructorValidation) {
+  EXPECT_THROW(RbfModel(Scaler({0.0}, {1.0}), la::Matrix(2, 1), {1.0}, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(RbfModel(Scaler({0.0}, {1.0}), la::Matrix(1, 1), {1.0}, 0.0, -1.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,121 @@
+// End-to-end integration: a complete point-to-point link (driver -> lossy
+// interconnect -> receiver) where BOTH ports are replaced by their
+// estimated macromodels at once, validated against the full
+// transistor-level simulation. This is the paper's intended use case: a
+// system-level EMC/SI simulation running entirely on behavioral models.
+#include <gtest/gtest.h>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/tline.hpp"
+#include "core/circuit_dut.hpp"
+#include "core/driver_device.hpp"
+#include "core/driver_estimator.hpp"
+#include "core/receiver_device.hpp"
+#include "core/receiver_estimator.hpp"
+#include "core/validation.hpp"
+#include "devices/reference_driver.hpp"
+#include "devices/reference_receiver.hpp"
+#include "signal/sources.hpp"
+
+using namespace emc;
+
+namespace {
+
+struct LinkModels {
+  dev::DriverTech drv_tech = dev::DriverTech::md2_ibm18();
+  dev::ReceiverTech rx_tech = dev::ReceiverTech::md4_ibm18();
+  core::PwRbfDriverModel driver;
+  core::ParametricReceiverModel receiver;
+};
+
+const LinkModels& models() {
+  static const LinkModels m = [] {
+    LinkModels lm;
+    core::CircuitDriverDut ddut(lm.drv_tech);
+    lm.driver = core::estimate_driver_model(ddut);
+    core::CircuitReceiverDut rdut(lm.rx_tech);
+    lm.receiver = core::estimate_receiver_model(rdut);
+    return lm;
+  }();
+  return m;
+}
+
+/// A 1.8 V point-to-point link over 10 cm of lossy interconnect.
+struct LinkRun {
+  sig::Waveform near;
+  sig::Waveform pin;
+};
+
+LinkRun run_link(bool behavioral, const std::string& bits) {
+  const auto& m = models();
+
+  ckt::CoupledLineParams line;
+  line.l = linalg::Matrix{{466e-9}};
+  line.c = linalg::Matrix{{66e-12}};
+  line.length = 0.1;
+  line.loss.rdc = 66.0;
+  line.loss.rskin = 1.6e-3;
+  line.loss.tan_delta = 0.001;
+
+  ckt::Circuit c;
+  const int near = c.node();
+  const int pin = c.node();
+  add_coupled_lossy_line(c, {near}, {pin}, line, 25e-12, 8);
+
+  if (behavioral) {
+    c.add<core::DriverDevice>(near, m.driver, bits, 2e-9);
+    c.add<core::ReceiverDevice>(pin, m.receiver);
+  } else {
+    auto pattern = sig::bit_stream(bits, 2e-9, 0.1e-9, 0.0, m.drv_tech.vdd);
+    auto drv = dev::build_reference_driver(c, m.drv_tech,
+                                           [pattern](double t) { return pattern(t); });
+    c.add<ckt::Resistor>(drv.pad, near, 1e-3);
+    auto rx = dev::build_reference_receiver(c, m.rx_tech);
+    c.add<ckt::Resistor>(rx.pin, pin, 1e-3);
+  }
+
+  ckt::TransientOptions opt;
+  opt.dt = 25e-12;
+  opt.t_stop = 14e-9;
+  auto res = ckt::run_transient(c, opt);
+  return {res.waveform(near), res.waveform(pin)};
+}
+
+}  // namespace
+
+TEST(IntegrationLink, FullyBehavioralLinkTracksReference) {
+  const auto ref = run_link(false, "0110");
+  const auto mod = run_link(true, "0110");
+
+  const double vth = models().drv_tech.vdd / 2;
+  const auto rep_pin =
+      core::validate_waveform("receiver pin", ref.pin, mod.pin, vth, 0.2e-9);
+  EXPECT_LT(rep_pin.rel_rms, 0.12);
+  ASSERT_TRUE(rep_pin.edge_timing_error.has_value());
+  EXPECT_LT(*rep_pin.edge_timing_error, 40e-12);
+
+  const auto rep_near =
+      core::validate_waveform("driver pad", ref.near, mod.near, vth, 0.2e-9);
+  EXPECT_LT(rep_near.rel_rms, 0.12);
+}
+
+TEST(IntegrationLink, EyeLevelsSettleCorrectly) {
+  const auto mod = run_link(true, "0110");
+  const auto& m = models();
+  // After the last falling edge the link must settle back near ground;
+  // mid-pattern High must reach the receiver near VDD (light DC load).
+  // The settled-Low tolerance reflects the RBF submodel's static
+  // zero-crossing offset (a few percent of its +-0.5 A fit range maps to
+  // ~0.2 V through the output conductance; see EXPERIMENTS.md).
+  EXPECT_NEAR(mod.pin.value_at(13.8e-9), 0.0, 0.25);
+  EXPECT_NEAR(mod.pin.value_at(5.6e-9), m.drv_tech.vdd, 0.25);
+}
+
+TEST(IntegrationLink, BehavioralLinkIsDeterministic) {
+  const auto a = run_link(true, "01");
+  const auto b = run_link(true, "01");
+  for (std::size_t k = 0; k < a.pin.size(); k += 25)
+    EXPECT_DOUBLE_EQ(a.pin[k], b.pin[k]);
+}

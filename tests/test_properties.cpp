@@ -1,0 +1,194 @@
+// Cross-module property tests: parameterized sweeps asserting physics
+// invariants of the substrate (conservation, reciprocity, analytic
+// solutions) across wide parameter ranges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/devices_nonlinear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/tline.hpp"
+#include "ibis/extract.hpp"
+#include "ibis/writer.hpp"
+#include "signal/metrics.hpp"
+#include "signal/sources.hpp"
+
+using namespace emc;
+using namespace emc::ckt;
+
+// --- RC time constant across decades --------------------------------------
+
+class RcSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RcSweep, StepResponseTimeConstant) {
+  const auto [r, c] = GetParam();
+  const double tau = r * c;
+
+  Circuit ckt;
+  const int vin = ckt.node();
+  const int out = ckt.node();
+  sig::Pwl step({{0.0, 0.0}, {tau * 1e-3, 1.0}});
+  ckt.add<VSource>(vin, ckt.ground(), [step](double t) { return step(t); });
+  ckt.add<Resistor>(vin, out, r);
+  ckt.add<Capacitor>(out, ckt.ground(), c);
+
+  TransientOptions opt;
+  opt.dt = tau / 200.0;
+  opt.t_stop = 5.0 * tau;
+  auto res = run_transient(ckt, opt);
+  const auto v = res.waveform(out);
+  // At t = tau the response must be 1 - 1/e.
+  EXPECT_NEAR(v.value_at(tau), 1.0 - std::exp(-1.0), 5e-3);
+  EXPECT_NEAR(v.value_at(4.0 * tau), 1.0 - std::exp(-4.0), 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decades, RcSweep,
+    ::testing::Values(std::tuple{10.0, 1e-12}, std::tuple{50.0, 10e-12},
+                      std::tuple{1e3, 1e-9}, std::tuple{1e4, 100e-9},
+                      std::tuple{100.0, 1e-6}));
+
+// --- Ideal line: energy balance on a matched system ------------------------
+
+class LineImpedanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LineImpedanceSweep, MatchedDividerHalvesStep) {
+  const double z0 = GetParam();
+  Circuit ckt;
+  const int src = ckt.node();
+  const int a = ckt.node();
+  const int b = ckt.node();
+  sig::Pwl step({{0.0, 0.0}, {50e-12, 1.0}});
+  ckt.add<VSource>(src, ckt.ground(), [step](double t) { return step(t); });
+  ckt.add<Resistor>(src, a, z0);
+  ckt.add<IdealLine>(a, ckt.ground(), b, ckt.ground(), z0, 1e-9);
+  ckt.add<Resistor>(b, ckt.ground(), z0);
+
+  TransientOptions opt;
+  opt.dt = 25e-12;
+  opt.t_stop = 5e-9;
+  auto res = run_transient(ckt, opt);
+  // Matched at both ends: half the step everywhere after the delay, no
+  // reflections whatever z0 is.
+  EXPECT_NEAR(res.waveform(a).value_at(4.5e-9), 0.5, 5e-3);
+  EXPECT_NEAR(res.waveform(b).value_at(4.5e-9), 0.5, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Impedances, LineImpedanceSweep,
+                         ::testing::Values(10.0, 28.0, 50.0, 75.0, 120.0, 300.0));
+
+// --- Coupled line reciprocity ----------------------------------------------
+
+class CouplingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CouplingSweep, CrosstalkReciprocity) {
+  // Driving land 1 and reading land 2 must equal driving land 2 and
+  // reading land 1 (the structure is symmetric and passive).
+  const double lm = GetParam();
+  const double l0 = 466e-9, c0 = 66e-12;
+  const double cm = 6.6e-12 * (lm / 66e-9);
+  linalg::Matrix l{{l0, lm}, {lm, l0}};
+  linalg::Matrix c{{c0, -cm}, {-cm, c0}};
+
+  auto run = [&](bool drive_first) {
+    Circuit ckt;
+    const int src = ckt.node();
+    const int a1 = ckt.node();
+    const int a2 = ckt.node();
+    const int b1 = ckt.node();
+    const int b2 = ckt.node();
+    sig::Pwl step({{0.0, 0.0}, {0.1e-9, 0.0}, {0.3e-9, 1.0}});
+    ckt.add<VSource>(src, ckt.ground(), [step](double t) { return step(t); });
+    ckt.add<Resistor>(src, drive_first ? a1 : a2, 50.0);
+    ckt.add<Resistor>(drive_first ? a2 : a1, ckt.ground(), 50.0);
+    ckt.add<ModalLineSegment>(std::vector<int>{a1, a2}, std::vector<int>{b1, b2}, l, c,
+                              0.1);
+    ckt.add<Resistor>(b1, ckt.ground(), 50.0);
+    ckt.add<Resistor>(b2, ckt.ground(), 50.0);
+    TransientOptions opt;
+    opt.dt = 25e-12;
+    opt.t_stop = 4e-9;
+    auto res = run_transient(ckt, opt);
+    return res.waveform(drive_first ? b2 : b1);
+  };
+
+  const auto x12 = run(true);
+  const auto x21 = run(false);
+  EXPECT_LT(sig::max_error(x12, x21), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(CouplingStrengths, CouplingSweep,
+                         ::testing::Values(16e-9, 33e-9, 66e-9, 120e-9));
+
+// --- MOSFET invariants across bias -----------------------------------------
+
+class MosBiasSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosBiasSweep, SaturationCurrentQuadraticInOverdrive) {
+  const double vov = GetParam();
+  MosParams p;
+  p.kp = 150e-6;
+  p.vt0 = 0.6;
+  p.lambda = 0.0;
+  p.w = 20e-6;
+  p.l = 1e-6;
+  Mosfet m(1, 2, 0, p);
+  const double id = m.drain_current(5.0, p.vt0 + vov, 0.0);
+  EXPECT_NEAR(id, 0.5 * p.beta() * vov * vov, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overdrives, MosBiasSweep,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.2, 2.0));
+
+// --- KCL / charge conservation on a floating capacitive island -------------
+
+TEST(ChargeConservation, SeriesCapacitorsSplitVoltage) {
+  Circuit ckt;
+  const int vin = ckt.node();
+  const int mid = ckt.node();
+  sig::Pwl step({{0.0, 0.0}, {0.2e-9, 3.0}});
+  ckt.add<VSource>(vin, ckt.ground(), [step](double t) { return step(t); });
+  ckt.add<Capacitor>(vin, mid, 2e-12);
+  ckt.add<Capacitor>(mid, ckt.ground(), 4e-12);
+
+  TransientOptions opt;
+  opt.dt = 10e-12;
+  opt.t_stop = 2e-9;
+  auto res = run_transient(ckt, opt);
+  // Capacitive divider: v_mid = 3 * C1/(C1+C2) = 1 V.
+  EXPECT_NEAR(res.waveform(mid).value_at(1.9e-9), 1.0, 2e-2);
+}
+
+// --- IBIS writer round-trip structure --------------------------------------
+
+TEST(IbisWriter, EmitsWellFormedFile) {
+  ibis::IbisModel typ;
+  typ.corner = ibis::Corner::Typical;
+  typ.vdd = 3.3;
+  typ.pullup.points = {{-1.0, -0.2}, {3.3, 0.0}, {4.3, 0.05}};
+  typ.pulldown.points = {{-1.0, -0.05}, {0.0, 0.0}, {4.3, 0.2}};
+  typ.ramp_up = 2e9;
+  typ.ramp_down = 2.5e9;
+  typ.c_comp = 5e-12;
+  ibis::IbisModel slow = typ;
+  slow.corner = ibis::Corner::Slow;
+  ibis::IbisModel fast = typ;
+  fast.corner = ibis::Corner::Fast;
+
+  const auto text = ibis::write_ibs("md1", {slow, typ, fast});
+  EXPECT_NE(text.find("[IBIS Ver]"), std::string::npos);
+  EXPECT_NE(text.find("[Component]  md1"), std::string::npos);
+  EXPECT_NE(text.find("[Pullup]"), std::string::npos);
+  EXPECT_NE(text.find("[Pulldown]"), std::string::npos);
+  EXPECT_NE(text.find("[Ramp]"), std::string::npos);
+  EXPECT_NE(text.find("[End]"), std::string::npos);
+}
+
+TEST(IbisWriter, RequiresTypicalCorner) {
+  ibis::IbisModel slow;
+  slow.corner = ibis::Corner::Slow;
+  EXPECT_THROW(ibis::write_ibs("x", {slow}), std::invalid_argument);
+  EXPECT_THROW(ibis::write_ibs("x", {}), std::invalid_argument);
+}
