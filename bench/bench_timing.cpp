@@ -2,53 +2,131 @@
 // experiment the threshold-crossing timing error between the reference and
 // the macromodel is computed (sampling time Ts = 25 ps). Paper claim:
 // always below 20 ps, mostly around 5 ps.
+//
+// Besides the human-readable table, the bench emits BENCH_timing.json
+// (scenario name, wall time, Newton iterations) so the perf trajectory of
+// the engine is tracked across PRs, and it times a purely linear transient
+// twice — cached-LU fast path vs. the generic re-factorizing Newton path —
+// verifying the waveforms agree to sub-nanovolt level.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "circuit/devices_linear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
 #include "core/validation.hpp"
 #include "experiments.hpp"
+
+namespace {
+
+struct BenchRow {
+  std::string name;
+  double wall_s = 0.0;
+  long newton_iters = -1;  ///< -1: the scenario does not expose solver stats
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Linear R-L-C ladder (n_sections stages) driven by a 3.3 V step: the
+/// cached-LU showcase. Purely linear, so the engine solves one exact
+/// Newton iteration per step and can reuse a single factorization.
+void build_ladder(emc::ckt::Circuit& c, int n_sections) {
+  using namespace emc::ckt;
+  const int in = c.node("in");
+  c.add<VSource>(in, 0, [](double t) { return t < 0.5e-9 ? 0.0 : 3.3; });
+  int prev = in;
+  for (int k = 0; k < n_sections; ++k) {
+    const int mid = c.node();
+    const int nxt = c.node();
+    c.add<Resistor>(prev, mid, 2.0);
+    c.add<Inductor>(mid, nxt, 1e-9);
+    c.add<Capacitor>(nxt, 0, 2e-12);
+    prev = nxt;
+  }
+  c.add<Resistor>(prev, 0, 50.0);
+}
+
+void write_json(const std::vector<BenchRow>& rows, double speedup, double max_dv) {
+  std::FILE* f = std::fopen("BENCH_timing.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_timing: cannot write BENCH_timing.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_timing\",\n  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_s\": %.6f, \"newton_iters\": %ld}%s\n",
+                 rows[i].name.c_str(), rows[i].wall_s, rows[i].newton_iters,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"linear_fastpath_speedup\": %.3f,\n"
+               "  \"linear_fastpath_max_dv\": %.3e\n}\n",
+               speedup, max_dv);
+  std::fclose(f);
+  std::printf("wrote BENCH_timing.json (%zu scenarios)\n", rows.size());
+}
+
+}  // namespace
 
 int main() {
   using namespace emc;
   std::printf("=== Section 5: timing-error summary (Ts = 25 ps) ===\n");
   std::printf("estimating all device models, running all experiments...\n\n");
 
-  std::vector<core::ValidationReport> rows;
+  std::vector<core::ValidationReport> validation_rows;
+  std::vector<BenchRow> bench_rows;
 
   {
+    const auto t0 = std::chrono::steady_clock::now();
     const auto f1 = exp::run_fig1();
-    rows.push_back(
+    bench_rows.push_back({"fig1", seconds_since(t0), -1});
+    validation_rows.push_back(
         core::validate_waveform("fig1 MD1 near-end", f1.reference, f1.pwrbf, 1.65, 0.2e-9));
   }
   {
+    const auto t0 = std::chrono::steady_clock::now();
     const auto f2 = exp::run_fig2();
+    bench_rows.push_back({"fig2", seconds_since(t0), -1});
     int idx = 0;
     for (const auto& p : f2) {
       char label[48];
       std::snprintf(label, sizeof label, "fig2%c MD2 far-end",
                     static_cast<char>('a' + idx++));
-      rows.push_back(core::validate_waveform(label, p.reference, p.pwrbf, 0.9, 0.2e-9));
+      validation_rows.push_back(
+          core::validate_waveform(label, p.reference, p.pwrbf, 0.9, 0.2e-9));
     }
   }
   {
+    const auto t0 = std::chrono::steady_clock::now();
     const auto f4 = exp::run_fig4_both(20e-9);
-    rows.push_back(core::validate_waveform("fig4 MD3 active", f4.v21_reference,
-                                           f4.v21_pwrbf, 1.25, 0.2e-9));
+    bench_rows.push_back({"fig4", seconds_since(t0), -1});
+    validation_rows.push_back(core::validate_waveform("fig4 MD3 active", f4.v21_reference,
+                                                      f4.v21_pwrbf, 1.25, 0.2e-9));
   }
   {
+    const auto t0 = std::chrono::steady_clock::now();
     const auto f5 = exp::run_fig5();
-    rows.push_back(core::validate_waveform("fig5 MD4 current", f5.i_reference,
-                                           f5.i_parametric, 0.02, 0.2e-9));
+    bench_rows.push_back({"fig5", seconds_since(t0), -1});
+    validation_rows.push_back(core::validate_waveform("fig5 MD4 current", f5.i_reference,
+                                                      f5.i_parametric, 0.02, 0.2e-9));
   }
   {
+    const auto t0 = std::chrono::steady_clock::now();
     const auto f6 = exp::run_fig6();
+    bench_rows.push_back({"fig6", seconds_since(t0), -1});
     int idx = 0;
     for (const auto& p : f6) {
       char label[48];
       std::snprintf(label, sizeof label, "fig6%c MD4 pin",
                     static_cast<char>('a' + idx++));
-      rows.push_back(core::validate_waveform(label, p.v_reference, p.v_parametric,
-                                             p.amplitude / 2, 0.2e-9));
+      validation_rows.push_back(core::validate_waveform(
+          label, p.v_reference, p.v_parametric, p.amplitude / 2, 0.2e-9));
     }
   }
 
@@ -59,7 +137,7 @@ int main() {
   std::printf("%-20s %10s %10s %10s   %s\n", "experiment", "rel rms", "all [ps]",
               "edge [ps]", "paper bound: < 20 ps on edges");
   int within = 0, total = 0;
-  for (const auto& r : rows) {
+  for (const auto& r : validation_rows) {
     const double te = r.timing_error ? *r.timing_error * 1e12 : -1.0;
     const double ete = r.edge_timing_error ? *r.edge_timing_error * 1e12 : -1.0;
     if (r.edge_timing_error) {
@@ -74,5 +152,46 @@ int main() {
   }
   std::printf("\n%d/%d experiments within the paper's 20 ps bound (edge metric)\n", within,
               total);
-  return 0;
+
+  // ---- linear-circuit transient: cached-LU fast path vs. generic Newton
+  std::printf("\n=== Linear transient: cached-LU fast path vs. full per-step LU ===\n");
+  constexpr int kSections = 40;
+  ckt::TransientOptions opt;
+  opt.dt = 25e-12;
+  opt.t_stop = 100e-9;
+
+  ckt::Circuit fast_ckt, ref_ckt;
+  build_ladder(fast_ckt, kSections);
+  build_ladder(ref_ckt, kSections);
+
+  opt.cache_lu = true;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto res_fast = ckt::run_transient(fast_ckt, opt);
+  const double wall_fast = seconds_since(t0);
+  bench_rows.push_back(
+      {"linear_ladder_cached_lu", wall_fast, res_fast.stats.total_newton_iters});
+
+  opt.cache_lu = false;
+  t0 = std::chrono::steady_clock::now();
+  const auto res_ref = ckt::run_transient(ref_ckt, opt);
+  const double wall_ref = seconds_since(t0);
+  bench_rows.push_back(
+      {"linear_ladder_full_lu", wall_ref, res_ref.stats.total_newton_iters});
+
+  double max_dv = 0.0;
+  const int last_node = 1 + 2 * kSections;  // ladder output node id
+  const auto wf = res_fast.waveform(last_node);
+  const auto wr = res_ref.waveform(last_node);
+  for (std::size_t k = 0; k < wf.size(); ++k)
+    max_dv = std::max(max_dv, std::abs(wf[k] - wr[k]));
+  const double speedup = wall_fast > 0.0 ? wall_ref / wall_fast : 0.0;
+
+  std::printf("cached LU: %8.4f s  (%ld Newton iters over %ld steps)\n", wall_fast,
+              res_fast.stats.total_newton_iters, res_fast.stats.steps);
+  std::printf("full LU:   %8.4f s  (%ld Newton iters over %ld steps)\n", wall_ref,
+              res_ref.stats.total_newton_iters, res_ref.stats.steps);
+  std::printf("speedup:   %.2fx   max |dv| = %.3e V (bound: 1e-9)\n", speedup, max_dv);
+
+  write_json(bench_rows, speedup, max_dv);
+  return max_dv < 1e-9 ? 0 : 1;
 }

@@ -90,6 +90,13 @@ class Device {
   int extra_base() const { return extra_base_; }
 
   /// True if the stamp depends on the candidate solution x.
+  ///
+  /// Returning false is a stronger promise than x-independence: the
+  /// engine's cached-LU fast path assumes a linear device's *matrix*
+  /// entries depend only on (dt, dc) — time, history, and the source
+  /// scale may enter the right-hand side only. A device whose
+  /// conductance varies with t or committed history must return true
+  /// even if its stamp ignores x.
   virtual bool nonlinear() const { return false; }
 
   /// Called once per time step before the Newton loop; history-dependent

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "linalg/decomp.hpp"
 #include "signal/waveform.hpp"
 
 namespace emc::ckt {
@@ -24,6 +25,44 @@ struct TransientOptions {
   double dx_limit = 0.5;   ///< Newton damping: max |dx| per iteration
   double gmin = 1e-12;     ///< diagonal leakage keeping the system regular
   bool dc_start = true;    ///< compute the operating point before stepping
+  /// Cache the LU factorization of a purely linear circuit: factor once
+  /// per (dt, dc, gmin) configuration and reuse the factors for every
+  /// step. Each step still re-stamps the system (the right-hand side is
+  /// time/history dependent) but replaces the O(n^3) LU with one O(n^2)
+  /// back-substitution. Disable to force the generic re-factorizing
+  /// Newton path (reference behavior for regression benches).
+  bool cache_lu = true;
+};
+
+/// Reusable scratch for the Newton/MNA solve. Hoists the dense system
+/// (Jacobian, right-hand side, candidate update) and the LU factorization
+/// storage out of the per-step solve, so steady-state stepping performs no
+/// heap allocation. One workspace serves one circuit for the lifetime of
+/// an analysis; run_transient owns one internally.
+class NewtonWorkspace {
+ public:
+  NewtonWorkspace() = default;
+  explicit NewtonWorkspace(std::size_t n) { resize(n); }
+
+  /// Size the scratch for an n-unknown system and drop any cached factors.
+  void resize(std::size_t n);
+
+  /// Forget the cached linear-circuit factorization (topology or
+  /// configuration changed).
+  void invalidate();
+
+  linalg::Matrix g;           ///< MNA Jacobian scratch
+  std::vector<double> rhs;    ///< right-hand side scratch
+  std::vector<double> x_new;  ///< Newton candidate scratch
+  linalg::LuFactor lu;        ///< refactorizable LU storage
+
+  // Cached-factorization key for the linear fast path: the Jacobian of a
+  // purely linear circuit depends only on (dt, dc, gmin), never on t, x,
+  // or the source-stepping scale.
+  bool lu_cached = false;
+  double lu_dt = 0.0;
+  bool lu_dc = false;
+  double lu_gmin = 0.0;
 };
 
 struct SolveStats {

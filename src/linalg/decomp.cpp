@@ -5,10 +5,25 @@
 
 namespace emc::linalg {
 
-LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), piv_(lu_.rows()) {
+LuFactor::LuFactor(Matrix a) {
+  factor(std::move(a));
+}
+
+void LuFactor::factor(const Matrix& a) {
+  lu_ = a;  // vector assignment reuses capacity when sizes match
+  factorize();
+}
+
+void LuFactor::factor(Matrix&& a) {
+  lu_ = std::move(a);
+  factorize();
+}
+
+void LuFactor::factorize() {
+  valid_ = false;
   if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LuFactor: matrix not square");
   const std::size_t n = lu_.rows();
-  for (std::size_t i = 0; i < n; ++i) piv_[i] = static_cast<int>(i);
+  piv_.resize(n);
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: pick the largest magnitude entry in column k.
@@ -22,10 +37,9 @@ LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), piv_(lu_.rows()) {
       }
     }
     if (pmax < 1e-300) throw std::runtime_error("LuFactor: singular matrix");
-    if (p != k) {
+    piv_[k] = static_cast<int>(p);
+    if (p != k)
       for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
-      std::swap(piv_[k], piv_[p]);
-    }
     const double inv_pivot = 1.0 / lu_(k, k);
     for (std::size_t i = k + 1; i < n; ++i) {
       const double m = lu_(i, k) * inv_pivot;
@@ -34,6 +48,7 @@ LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), piv_(lu_.rows()) {
       for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
     }
   }
+  valid_ = true;
 }
 
 std::vector<double> LuFactor::solve(std::span<const double> b) const {
@@ -44,22 +59,24 @@ std::vector<double> LuFactor::solve(std::span<const double> b) const {
 
 void LuFactor::solve_in_place(std::span<double> b) const {
   const std::size_t n = lu_.rows();
+  if (!valid_) throw std::runtime_error("LuFactor::solve: no valid factorization");
   if (b.size() != n) throw std::invalid_argument("LuFactor::solve: size mismatch");
-  std::vector<double> y(n);
-  for (std::size_t i = 0; i < n; ++i) y[i] = b[piv_[i]];
+  // Apply the recorded row interchanges, then substitute fully in place:
+  // the whole solve is allocation-free.
+  for (std::size_t k = 0; k < n; ++k)
+    if (piv_[k] != static_cast<int>(k)) std::swap(b[k], b[static_cast<std::size_t>(piv_[k])]);
   // Forward substitution (unit lower triangle).
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = y[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
-    y[i] = acc;
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * b[j];
+    b[i] = acc;
   }
   // Back substitution.
   for (std::size_t ii = n; ii-- > 0;) {
-    double acc = y[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
-    y[ii] = acc / lu_(ii, ii);
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * b[j];
+    b[ii] = acc / lu_(ii, ii);
   }
-  for (std::size_t i = 0; i < n; ++i) b[i] = y[i];
 }
 
 Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {

@@ -13,21 +13,45 @@ namespace emc::linalg {
 
 /// LU factorization with partial pivoting, reusable for multiple
 /// right-hand sides. Throws std::runtime_error on (numerical) singularity.
+///
+/// The factorization storage is reusable: a default-constructed LuFactor
+/// can be (re)loaded with factor(), which recycles the internal buffers so
+/// repeated refactorization of same-sized systems performs no heap
+/// allocation after the first call — this is what the MNA Newton hot path
+/// relies on.
 class LuFactor {
  public:
+  /// Empty factor; call factor() before solving.
+  LuFactor() = default;
+
   explicit LuFactor(Matrix a);
+
+  /// (Re)factorize `a`, copying it into internal storage. Existing
+  /// capacity is reused when the size matches. Throws std::runtime_error
+  /// on singularity, in which case valid() becomes false.
+  void factor(const Matrix& a);
+
+  /// (Re)factorize taking ownership of `a` (no copy).
+  void factor(Matrix&& a);
+
+  /// True when a factorization is loaded and numerically usable.
+  bool valid() const { return valid_; }
 
   /// Solve A x = b for one right-hand side.
   std::vector<double> solve(std::span<const double> b) const;
 
-  /// In-place solve (b is overwritten by x).
+  /// In-place solve (b is overwritten by x). Performs no heap allocation.
   void solve_in_place(std::span<double> b) const;
 
   std::size_t size() const { return lu_.rows(); }
 
  private:
+  /// In-place LU of lu_ with partial pivoting; records row swaps in piv_.
+  void factorize();
+
   Matrix lu_;
-  std::vector<int> piv_;
+  std::vector<int> piv_;  ///< row swapped with row k at elimination step k
+  bool valid_ = false;
 };
 
 /// Cholesky factorization A = L L^T of a symmetric positive definite

@@ -1,0 +1,140 @@
+// Engine-internal behavior: TransientResult bounds checking, SolveStats
+// accounting, and the cached-LU linear fast path (one Newton iteration per
+// step, waveforms identical to the generic re-factorizing path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/devices_nonlinear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+
+namespace ckt = emc::ckt;
+
+namespace {
+
+/// Step-driven RLC ladder: Vsrc -- R -- L -- node(out) -- C || R_load.
+/// Purely linear, with enough state (L, C histories) to exercise the
+/// companion-model rhs refresh under a frozen Jacobian.
+int build_rlc(ckt::Circuit& c) {
+  const int n1 = c.node("in");
+  const int n2 = c.node("mid");
+  const int out = c.node("out");
+  c.add<ckt::VSource>(n1, 0, [](double t) { return t < 1e-9 ? 0.0 : 3.3; });
+  c.add<ckt::Resistor>(n1, n2, 25.0);
+  c.add<ckt::Inductor>(n2, out, 5e-9);
+  c.add<ckt::Capacitor>(out, 0, 10e-12);
+  c.add<ckt::Resistor>(out, 0, 1e3);
+  return out;
+}
+
+ckt::TransientOptions rlc_options() {
+  ckt::TransientOptions opt;
+  opt.dt = 25e-12;
+  opt.t_stop = 10e-9;
+  return opt;
+}
+
+}  // namespace
+
+TEST(TransientResult, WaveformOutOfRangeIdThrows) {
+  ckt::Circuit c;
+  const int out = build_rlc(c);
+  const auto res = ckt::run_transient(c, rlc_options());
+
+  EXPECT_NO_THROW(res.waveform(0));    // ground: all-zero waveform
+  EXPECT_NO_THROW(res.waveform(out));  // valid node
+  // 3 nodes + 2 branch currents (VSource, Inductor) = 5 unknowns; id 6 is
+  // past the end.
+  EXPECT_THROW(res.waveform(6), std::out_of_range);
+  EXPECT_THROW(res.waveform(1000), std::out_of_range);
+}
+
+TEST(TransientResult, GroundWaveformIsZero) {
+  ckt::Circuit c;
+  build_rlc(c);
+  const auto res = ckt::run_transient(c, rlc_options());
+  const auto gnd = res.waveform(0);
+  for (std::size_t k = 0; k < gnd.size(); ++k) EXPECT_EQ(gnd[k], 0.0);
+}
+
+TEST(SolveStats, PopulatedByTransientRun) {
+  ckt::Circuit c;
+  build_rlc(c);
+  const auto opt = rlc_options();
+  const auto res = ckt::run_transient(c, opt);
+
+  const long expected_steps =
+      std::llround((opt.t_stop - opt.t_start) / opt.dt);
+  EXPECT_EQ(res.stats.steps, expected_steps);
+  EXPECT_GE(res.stats.total_newton_iters, res.stats.steps);
+  EXPECT_EQ(res.stats.weak_steps, 0);
+  // Result holds the initial state plus one record per step.
+  EXPECT_EQ(res.steps(), static_cast<std::size_t>(expected_steps) + 1);
+}
+
+TEST(LinearFastPath, OneNewtonIterationPerStep) {
+  // Regression: a purely linear circuit must ride the cached-LU fast path,
+  // which solves each step with exactly one (exact) Newton iteration.
+  ckt::Circuit c;
+  build_rlc(c);
+  const auto res = ckt::run_transient(c, rlc_options());
+  EXPECT_EQ(res.stats.total_newton_iters, res.stats.steps);
+  EXPECT_EQ(res.stats.weak_steps, 0);
+}
+
+TEST(LinearFastPath, MatchesGenericNewtonPath) {
+  ckt::Circuit fast, ref;
+  const int out_fast = build_rlc(fast);
+  const int out_ref = build_rlc(ref);
+
+  auto opt = rlc_options();
+  opt.cache_lu = true;
+  const auto res_fast = ckt::run_transient(fast, opt);
+  opt.cache_lu = false;
+  const auto res_ref = ckt::run_transient(ref, opt);
+
+  ASSERT_EQ(res_fast.steps(), res_ref.steps());
+  const auto wf = res_fast.waveform(out_fast);
+  const auto wr = res_ref.waveform(out_ref);
+  double max_dv = 0.0;
+  for (std::size_t k = 0; k < wf.size(); ++k)
+    max_dv = std::max(max_dv, std::abs(wf[k] - wr[k]));
+  EXPECT_LT(max_dv, 1e-9);
+}
+
+TEST(LinearFastPath, NonlinearCircuitUsesGenericPath) {
+  // A diode clamp makes the circuit nonlinear: Newton must iterate, so the
+  // per-step iteration count exceeds one somewhere in the run.
+  ckt::Circuit c;
+  const int n1 = c.node();
+  c.add<ckt::VSource>(n1, 0, [](double t) { return t < 1e-9 ? 0.0 : 3.3; });
+  const int out = c.node();
+  c.add<ckt::Resistor>(n1, out, 100.0);
+  c.add<ckt::Diode>(out, 0);
+  c.add<ckt::Capacitor>(out, 0, 1e-12);
+
+  auto opt = rlc_options();
+  const auto res = ckt::run_transient(c, opt);
+  EXPECT_GT(res.stats.total_newton_iters, res.stats.steps);
+}
+
+TEST(LinearFastPath, DcOperatingPointOfLinearDivider) {
+  // The cached-LU path is also taken during DC (dt = 0 key); the divider
+  // solution must be exact.
+  ckt::Circuit c;
+  const int n1 = c.node();
+  const int n2 = c.node();
+  c.add<ckt::VSource>(n1, 0, 2.0);
+  c.add<ckt::Resistor>(n1, n2, 1e3);
+  c.add<ckt::Resistor>(n2, 0, 1e3);
+
+  ckt::TransientOptions opt;
+  c.finalize();
+  std::vector<double> x(3, 0.0);  // 2 nodes + 1 branch current
+  ckt::dc_operating_point(c, x, opt);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-6);
+}

@@ -94,6 +94,48 @@ TEST(Lu, SingularThrows) {
   EXPECT_THROW(la::LuFactor{a}, std::runtime_error);
 }
 
+TEST(Lu, DefaultConstructedIsInvalid) {
+  la::LuFactor lu;
+  EXPECT_FALSE(lu.valid());
+  std::vector<double> b;
+  EXPECT_THROW(lu.solve_in_place(b), std::runtime_error);
+}
+
+TEST(Lu, RefactorReusesStorageAcrossSystems) {
+  la::LuFactor lu;
+  lu.factor(la::Matrix{{2.0, 1.0}, {1.0, 3.0}});
+  EXPECT_TRUE(lu.valid());
+  std::vector<double> b{5.0, 10.0};
+  lu.solve_in_place(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+
+  // Refactor the same object with a different same-size system.
+  const la::Matrix a2{{4.0, 0.0}, {0.0, 2.0}};
+  lu.factor(a2);
+  std::vector<double> b2{8.0, 6.0};
+  lu.solve_in_place(b2);
+  EXPECT_NEAR(b2[0], 2.0, 1e-12);
+  EXPECT_NEAR(b2[1], 3.0, 1e-12);
+
+  // And with a different size.
+  lu.factor(la::Matrix{{1.0}});
+  EXPECT_EQ(lu.size(), 1u);
+  std::vector<double> b3{7.0};
+  lu.solve_in_place(b3);
+  EXPECT_NEAR(b3[0], 7.0, 1e-12);
+}
+
+TEST(Lu, FailedRefactorInvalidates) {
+  la::LuFactor lu;
+  lu.factor(la::Matrix{{2.0, 1.0}, {1.0, 3.0}});
+  ASSERT_TRUE(lu.valid());
+  EXPECT_THROW(lu.factor(la::Matrix{{1.0, 2.0}, {2.0, 4.0}}), std::runtime_error);
+  EXPECT_FALSE(lu.valid());
+  std::vector<double> b{1.0, 1.0};
+  EXPECT_THROW(lu.solve_in_place(b), std::runtime_error);
+}
+
 TEST(Lu, PivotingHandlesZeroDiagonal) {
   la::Matrix a{{0.0, 1.0}, {1.0, 0.0}};
   std::vector<double> b{2.0, 3.0};
