@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "circuit/netlist.hpp"
 #include "core/validation.hpp"
 #include "experiments.hpp"
+#include "json_out.hpp"
 
 namespace {
 
@@ -28,9 +30,7 @@ struct BenchRow {
   long newton_iters = -1;  ///< -1: the scenario does not expose solver stats
 };
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
+using emc::bench::seconds_since;
 
 /// Linear R-L-C ladder (n_sections stages) driven by a 3.3 V step: the
 /// cached-LU showcase. Purely linear, so the engine solves one exact
@@ -51,45 +51,44 @@ void build_ladder(emc::ckt::Circuit& c, int n_sections) {
   c.add<Resistor>(prev, 0, 50.0);
 }
 
-void write_json(const std::vector<BenchRow>& rows, double speedup, double max_dv) {
-  std::FILE* f = std::fopen("BENCH_timing.json", "w");
-  if (!f) {
-    std::fprintf(stderr, "bench_timing: cannot write BENCH_timing.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_timing\",\n  \"scenarios\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"wall_s\": %.6f, \"newton_iters\": %ld}%s\n",
-                 rows[i].name.c_str(), rows[i].wall_s, rows[i].newton_iters,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f,
-               "  ],\n  \"linear_fastpath_speedup\": %.3f,\n"
-               "  \"linear_fastpath_max_dv\": %.3e\n}\n",
-               speedup, max_dv);
-  std::fclose(f);
-  std::printf("wrote BENCH_timing.json (%zu scenarios)\n", rows.size());
+void write_json(const std::vector<BenchRow>& rows, double speedup, double max_dv,
+                bool smoke) {
+  auto doc = emc::bench::make_bench_doc("bench_timing");
+  for (const auto& r : rows)
+    doc.at("scenarios").push(emc::bench::scenario_row(r.name, r.wall_s, r.newton_iters));
+  doc.set("smoke", emc::bench::Json::boolean(smoke));
+  doc.set("linear_fastpath_speedup", emc::bench::Json::number(speedup));
+  doc.set("linear_fastpath_max_dv", emc::bench::Json::number(max_dv));
+  if (doc.write_file("BENCH_timing.json"))
+    std::printf("wrote BENCH_timing.json (%zu scenarios)\n", rows.size());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace emc;
-  std::printf("=== Section 5: timing-error summary (Ts = 25 ps) ===\n");
-  std::printf("estimating all device models, running all experiments...\n\n");
+  // --smoke: CI sanity mode. Skips the model-estimation experiments and
+  // shrinks the linear-ladder comparison so the binary exercises its whole
+  // reporting path in seconds.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  std::printf("=== Section 5: timing-error summary (Ts = 25 ps) ===%s\n",
+              smoke ? "  [smoke mode]" : "");
+  if (!smoke) std::printf("estimating all device models, running all experiments...\n\n");
 
   std::vector<core::ValidationReport> validation_rows;
   std::vector<BenchRow> bench_rows;
 
-  {
+  if (!smoke) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto f1 = exp::run_fig1();
     bench_rows.push_back({"fig1", seconds_since(t0), -1});
     validation_rows.push_back(
         core::validate_waveform("fig1 MD1 near-end", f1.reference, f1.pwrbf, 1.65, 0.2e-9));
   }
-  {
+  if (!smoke) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto f2 = exp::run_fig2();
     bench_rows.push_back({"fig2", seconds_since(t0), -1});
@@ -102,21 +101,21 @@ int main() {
           core::validate_waveform(label, p.reference, p.pwrbf, 0.9, 0.2e-9));
     }
   }
-  {
+  if (!smoke) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto f4 = exp::run_fig4_both(20e-9);
     bench_rows.push_back({"fig4", seconds_since(t0), -1});
     validation_rows.push_back(core::validate_waveform("fig4 MD3 active", f4.v21_reference,
                                                       f4.v21_pwrbf, 1.25, 0.2e-9));
   }
-  {
+  if (!smoke) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto f5 = exp::run_fig5();
     bench_rows.push_back({"fig5", seconds_since(t0), -1});
     validation_rows.push_back(core::validate_waveform("fig5 MD4 current", f5.i_reference,
                                                       f5.i_parametric, 0.02, 0.2e-9));
   }
-  {
+  if (!smoke) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto f6 = exp::run_fig6();
     bench_rows.push_back({"fig6", seconds_since(t0), -1});
@@ -155,10 +154,10 @@ int main() {
 
   // ---- linear-circuit transient: cached-LU fast path vs. generic Newton
   std::printf("\n=== Linear transient: cached-LU fast path vs. full per-step LU ===\n");
-  constexpr int kSections = 40;
+  const int kSections = smoke ? 10 : 40;
   ckt::TransientOptions opt;
   opt.dt = 25e-12;
-  opt.t_stop = 100e-9;
+  opt.t_stop = smoke ? 20e-9 : 100e-9;
 
   ckt::Circuit fast_ckt, ref_ckt;
   build_ladder(fast_ckt, kSections);
@@ -192,6 +191,6 @@ int main() {
               res_ref.stats.total_newton_iters, res_ref.stats.steps);
   std::printf("speedup:   %.2fx   max |dv| = %.3e V (bound: 1e-9)\n", speedup, max_dv);
 
-  write_json(bench_rows, speedup, max_dv);
+  write_json(bench_rows, speedup, max_dv, smoke);
   return max_dv < 1e-9 ? 0 : 1;
 }

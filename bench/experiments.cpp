@@ -1,6 +1,8 @@
 #include "experiments.hpp"
 
 #include <map>
+#include <tuple>
+#include <utility>
 
 #include "circuit/devices_linear.hpp"
 #include "circuit/engine.hpp"
@@ -81,6 +83,33 @@ void attach_driver(ckt::Circuit& c, int pad, const dev::DriverTech& tech,
   c.add<ckt::Resistor>(inst.pad, pad, 1e-3);
 }
 
+/// The Fig. 3 coupled on-MCM bus: two drivers on a 0.1 m lossy coupled
+/// line with 1 pF far-end loads. Returns the far-end (active, quiet)
+/// voltages. Shared by the Fig. 4 validation and the emission benches so
+/// both measure the identical structure.
+std::pair<sig::Waveform, sig::Waveform> run_fig3_bus(const dev::DriverTech& tech,
+                                                     const core::PwRbfDriverModel* model,
+                                                     const std::string& active_bits,
+                                                     const std::string& quiet_bits,
+                                                     double bit_time, double t_stop) {
+  ckt::Circuit c;
+  const int a1 = c.node();
+  const int a2 = c.node();
+  const int b1 = c.node();
+  const int b2 = c.node();
+  add_coupled_lossy_line(c, {a1, a2}, {b1, b2}, mcm_fig3_params(), kTs, 8);
+  c.add<ckt::Capacitor>(b1, c.ground(), 1e-12);
+  c.add<ckt::Capacitor>(b2, c.ground(), 1e-12);
+  attach_driver(c, a1, tech, model, nullptr, active_bits, bit_time);
+  attach_driver(c, a2, tech, model, nullptr, quiet_bits, bit_time);
+
+  ckt::TransientOptions opt;
+  opt.dt = kTs;
+  opt.t_stop = t_stop;
+  auto res = ckt::run_transient(c, opt);
+  return {res.waveform(b1), res.waveform(b2)};
+}
+
 sig::Waveform run_fig1_variant(const dev::DriverTech& tech,
                                const core::PwRbfDriverModel* model,
                                const ibis::IbisModel* ibis_model) {
@@ -151,34 +180,17 @@ Fig4Curves run_fig4(bool use_model_drivers, double t_stop) {
   core::PwRbfDriverModel model;
   if (use_model_drivers) model = make_driver_model(tech, "MD3");
 
-  const std::string active_bits = "011011101010000";
-  const std::string quiet_bits = "000000000000000";
-
-  ckt::Circuit c;
-  const int a1 = c.node();
-  const int a2 = c.node();
-  const int b1 = c.node();
-  const int b2 = c.node();
-  add_coupled_lossy_line(c, {a1, a2}, {b1, b2}, mcm_fig3_params(), kTs, 8);
-  c.add<ckt::Capacitor>(b1, c.ground(), 1e-12);
-  c.add<ckt::Capacitor>(b2, c.ground(), 1e-12);
-  attach_driver(c, a1, tech, use_model_drivers ? &model : nullptr, nullptr, active_bits,
-                1e-9);
-  attach_driver(c, a2, tech, use_model_drivers ? &model : nullptr, nullptr, quiet_bits,
-                1e-9);
-
-  ckt::TransientOptions opt;
-  opt.dt = kTs;
-  opt.t_stop = t_stop;
-  auto res = ckt::run_transient(c, opt);
+  auto [active, quiet] =
+      run_fig3_bus(tech, use_model_drivers ? &model : nullptr, "011011101010000",
+                   std::string(15, '0'), 1e-9, t_stop);
 
   Fig4Curves out;
   if (use_model_drivers) {
-    out.v21_pwrbf = res.waveform(b1);
-    out.v22_pwrbf = res.waveform(b2);
+    out.v21_pwrbf = std::move(active);
+    out.v22_pwrbf = std::move(quiet);
   } else {
-    out.v21_reference = res.waveform(b1);
-    out.v22_reference = res.waveform(b2);
+    out.v21_reference = std::move(active);
+    out.v22_reference = std::move(quiet);
   }
   return out;
 }
@@ -275,6 +287,27 @@ std::vector<Fig6Panel> run_fig6() {
     panels.push_back(std::move(p));
   }
   return panels;
+}
+
+BusEmissions run_bus_emissions(int periods) {
+  const auto tech = dev::DriverTech::md3_ibm25();
+  const auto model = make_driver_model(tech, "MD3");
+
+  const std::string pattern = "011011101010000";
+  const double bit_time = 1e-9;
+  std::string active_bits;
+  for (int p = 0; p < periods; ++p) active_bits += pattern;
+  const std::string quiet_bits(active_bits.size(), '0');
+
+  BusEmissions out;
+  out.pattern_period = bit_time * static_cast<double>(pattern.size());
+  const double t_stop = out.pattern_period * static_cast<double>(periods);
+
+  std::tie(out.active_reference, out.quiet_reference) =
+      run_fig3_bus(tech, nullptr, active_bits, quiet_bits, bit_time, t_stop);
+  std::tie(out.active_pwrbf, out.quiet_pwrbf) =
+      run_fig3_bus(tech, &model, active_bits, quiet_bits, bit_time, t_stop);
+  return out;
 }
 
 }  // namespace emc::exp

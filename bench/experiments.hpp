@@ -74,4 +74,16 @@ struct Fig6Panel {
 };
 std::vector<Fig6Panel> run_fig6();
 
+/// Bus-crosstalk emission scenario (shared by bench_emc and the EMC
+/// examples): two MD3 drivers on the Fig. 3 coupled interconnect, the
+/// aggressor repeating its 15-bit pattern `periods` times while the victim
+/// holds Low. Far-end voltages for the transistor-level reference and the
+/// PW-RBF macromodel.
+struct BusEmissions {
+  double pattern_period = 0.0;  ///< one aggressor pattern repetition [s]
+  sig::Waveform active_reference, quiet_reference;
+  sig::Waveform active_pwrbf, quiet_pwrbf;
+};
+BusEmissions run_bus_emissions(int periods);
+
 }  // namespace emc::exp

@@ -1,0 +1,136 @@
+#include "emc/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace emc::spec {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t m = 1;
+  while (m < n) m <<= 1;
+  return m;
+}
+
+std::vector<std::size_t> make_bitrev(std::size_t n) {
+  std::vector<std::size_t> rev(n);
+  for (std::size_t k = 1; k < n; ++k) rev[k] = rev[k >> 1] >> 1 | (k & 1 ? n >> 1 : 0);
+  return rev;
+}
+
+std::vector<std::complex<double>> make_twiddles(std::size_t n) {
+  std::vector<std::complex<double>> tw(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ph = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    tw[k] = {std::cos(ph), std::sin(ph)};
+  }
+  return tw;
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+  if (n == 0) throw std::invalid_argument("FftPlan: length must be >= 1");
+  if (pow2_) {
+    bitrev_ = make_bitrev(n_);
+    tw_ = make_twiddles(n_);
+    return;
+  }
+
+  // Bluestein: X[k] = w[k] * conv(x.*w, conj-chirp)[k] with
+  // w[k] = exp(-i*pi*k^2/n). Reducing k^2 mod 2n before the trig call
+  // keeps the chirp phase exact for large k.
+  m_ = next_pow2(2 * n_ - 1);
+  bitrev_ = make_bitrev(m_);
+  tw_ = make_twiddles(m_);
+
+  chirp_.resize(n_);
+  const std::size_t two_n = 2 * n_;
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double ph = -std::numbers::pi * static_cast<double>((k * k) % two_n) /
+                      static_cast<double>(n_);
+    chirp_[k] = {std::cos(ph), std::sin(ph)};
+  }
+
+  chirp_fft_.assign(m_, {0.0, 0.0});
+  chirp_fft_[0] = std::conj(chirp_[0]);
+  for (std::size_t k = 1; k < n_; ++k) {
+    chirp_fft_[k] = std::conj(chirp_[k]);
+    chirp_fft_[m_ - k] = std::conj(chirp_[k]);
+  }
+  radix2(chirp_fft_.data(), bitrev_, tw_, /*inv=*/false);
+
+  work_.resize(m_);
+}
+
+void FftPlan::radix2(std::complex<double>* x, const std::vector<std::size_t>& bitrev,
+                     const std::vector<std::complex<double>>& tw, bool inv) {
+  const std::size_t n = bitrev.size();
+  for (std::size_t k = 0; k < n; ++k)
+    if (k < bitrev[k]) std::swap(x[k], x[bitrev[k]]);
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n / len;
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const std::complex<double> w = inv ? std::conj(tw[j * step]) : tw[j * step];
+        const std::complex<double> u = x[base + j];
+        const std::complex<double> v = x[base + j + half] * w;
+        x[base + j] = u + v;
+        x[base + j + half] = u - v;
+      }
+    }
+  }
+}
+
+void FftPlan::bluestein(std::complex<double>* x, bool inv) {
+  // inverse(x) = conj(forward(conj(x))) / n; the conjugations are folded
+  // into the copies below so both directions share the forward machinery.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::complex<double> xk = inv ? std::conj(x[k]) : x[k];
+    work_[k] = xk * chirp_[k];
+  }
+  for (std::size_t k = n_; k < m_; ++k) work_[k] = {0.0, 0.0};
+
+  radix2(work_.data(), bitrev_, tw_, /*inv=*/false);
+  for (std::size_t k = 0; k < m_; ++k) work_[k] *= chirp_fft_[k];
+  radix2(work_.data(), bitrev_, tw_, /*inv=*/true);
+
+  const double m_scale = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::complex<double> Xk = work_[k] * m_scale * chirp_[k];
+    x[k] = inv ? std::conj(Xk) : Xk;
+  }
+}
+
+void FftPlan::transform(std::complex<double>* x, bool inv) {
+  if (n_ == 1) return;
+  if (pow2_) {
+    radix2(x, bitrev_, tw_, inv);
+    return;
+  }
+  bluestein(x, inv);
+}
+
+void FftPlan::forward(std::complex<double>* x) { transform(x, /*inv=*/false); }
+
+void FftPlan::inverse(std::complex<double>* x) {
+  transform(x, /*inv=*/true);
+  const double s = 1.0 / static_cast<double>(n_);
+  for (std::size_t k = 0; k < n_; ++k) x[k] *= s;
+}
+
+void FftPlan::forward_real(std::span<const double> x,
+                           std::vector<std::complex<double>>& out) {
+  if (x.size() != n_) throw std::invalid_argument("FftPlan::forward_real: length mismatch");
+  real_buf_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) real_buf_[k] = {x[k], 0.0};
+  forward(real_buf_.data());
+  out.resize(n_ / 2 + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = real_buf_[k];
+}
+
+}  // namespace emc::spec

@@ -1,0 +1,68 @@
+// Dependency-free FFT for the spectral EMC-assessment subsystem.
+//
+// FftPlan is a reusable plan/workspace object in the allocation-free style
+// of the Newton/MNA hot path: all twiddle tables, bit-reversal maps and
+// Bluestein scratch buffers are allocated once at construction, so a swept
+// EMI-receiver scan can run hundreds of transforms without touching the
+// heap. Power-of-two lengths use the iterative radix-2 Cooley-Tukey
+// kernel; every other length goes through Bluestein's chirp-z algorithm,
+// which reduces an arbitrary-length DFT to a power-of-two convolution.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace emc::spec {
+
+/// FFT plan for a fixed transform length n >= 1 (any n, not just 2^k).
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place DFT, X[k] = sum_j x[j] exp(-2*pi*i*j*k/n). `x` has length n.
+  void forward(std::complex<double>* x);
+
+  /// In-place inverse DFT including the 1/n normalization, so
+  /// inverse(forward(x)) == x up to rounding.
+  void inverse(std::complex<double>* x);
+
+  /// Real-input forward transform: fills `out` with the n/2+1 non-negative
+  /// frequency bins of the DFT of `x` (length n). `out` is resized on
+  /// first use; repeated calls on the same plan do not allocate.
+  void forward_real(std::span<const double> x, std::vector<std::complex<double>>& out);
+
+ private:
+  static bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+  void transform(std::complex<double>* x, bool inv);
+  /// Radix-2 kernel over `len` = bitrev.size() points using twiddles
+  /// tw[k] = exp(-2*pi*i*k/len), k < len/2.
+  static void radix2(std::complex<double>* x, const std::vector<std::size_t>& bitrev,
+                     const std::vector<std::complex<double>>& tw, bool inv);
+  void bluestein(std::complex<double>* x, bool inv);
+
+  std::size_t n_ = 0;
+  bool pow2_ = false;
+
+  // Radix-2 tables for length n_ (when pow2) or for the convolution length
+  // m_ (when Bluestein is active).
+  std::vector<std::size_t> bitrev_;
+  std::vector<std::complex<double>> tw_;
+
+  // Bluestein state: chirp_[k] = exp(-i*pi*k^2/n), chirp_fft_ the forward
+  // FFT of the circularly wrapped conjugate chirp, work_ the length-m_
+  // convolution buffer.
+  std::size_t m_ = 0;
+  std::vector<std::complex<double>> chirp_;
+  std::vector<std::complex<double>> chirp_fft_;
+  std::vector<std::complex<double>> work_;
+
+  // Scratch for forward_real.
+  std::vector<std::complex<double>> real_buf_;
+};
+
+}  // namespace emc::spec

@@ -1,0 +1,102 @@
+#include "emc/limits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace emc::spec {
+
+bool LimitMask::covers(double f) const {
+  return !points.empty() && f >= points.front().f && f <= points.back().f;
+}
+
+double LimitMask::at(double f) const {
+  if (!covers(f)) return std::numeric_limits<double>::quiet_NaN();
+  // Walk segments from the high-frequency end so that at a step (two
+  // breakpoints sharing a frequency) the upper segment wins.
+  for (std::size_t i = points.size() - 1; i > 0; --i) {
+    const Point& a = points[i - 1];
+    const Point& b = points[i];
+    if (f >= a.f && f <= b.f) {
+      if (a.f == b.f) return b.limit_dbuv;
+      const double u = (std::log10(f) - std::log10(a.f)) / (std::log10(b.f) - std::log10(a.f));
+      return a.limit_dbuv + u * (b.limit_dbuv - a.limit_dbuv);
+    }
+  }
+  return points.front().limit_dbuv;
+}
+
+LimitMask LimitMask::cispr32_class_a_conducted_qp() {
+  return {"CISPR 32 class A conducted QP",
+          {{150e3, 79.0}, {500e3, 79.0}, {500e3, 73.0}, {30e6, 73.0}}};
+}
+
+LimitMask LimitMask::cispr32_class_a_conducted_avg() {
+  return {"CISPR 32 class A conducted AVG",
+          {{150e3, 66.0}, {500e3, 66.0}, {500e3, 60.0}, {30e6, 60.0}}};
+}
+
+LimitMask LimitMask::cispr32_class_b_conducted_qp() {
+  return {"CISPR 32 class B conducted QP",
+          {{150e3, 66.0}, {500e3, 56.0}, {5e6, 56.0}, {5e6, 60.0}, {30e6, 60.0}}};
+}
+
+LimitMask LimitMask::cispr32_class_b_conducted_avg() {
+  return {"CISPR 32 class B conducted AVG",
+          {{150e3, 56.0}, {500e3, 46.0}, {5e6, 46.0}, {5e6, 50.0}, {30e6, 50.0}}};
+}
+
+ComplianceReport check_compliance(std::span<const double> freq,
+                                  std::span<const double> level_dbuv,
+                                  const LimitMask& mask, std::string what) {
+  if (freq.size() != level_dbuv.size())
+    throw std::invalid_argument("check_compliance: freq/level size mismatch");
+
+  ComplianceReport rep;
+  rep.mask_name = mask.name;
+  rep.what = std::move(what);
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < freq.size(); ++k) {
+    if (!mask.covers(freq[k])) continue;
+    MarginPoint p;
+    p.f = freq[k];
+    p.level_dbuv = level_dbuv[k];
+    p.limit_dbuv = mask.at(freq[k]);
+    p.margin_db = p.limit_dbuv - p.level_dbuv;
+    if (p.margin_db < worst) {
+      worst = p.margin_db;
+      rep.worst_index = rep.points.size();
+    }
+    rep.points.push_back(p);
+  }
+  rep.worst_margin_db = rep.points.empty() ? 0.0 : worst;
+  rep.pass = rep.points.empty() || worst >= 0.0;
+  return rep;
+}
+
+ComplianceReport check_compliance(const Spectrum& spectrum_dbuv, const LimitMask& mask,
+                                  std::string what) {
+  std::vector<double> freq(spectrum_dbuv.size());
+  for (std::size_t k = 0; k < freq.size(); ++k) freq[k] = spectrum_dbuv.frequency_at(k);
+  return check_compliance(freq, spectrum_dbuv.value, mask, std::move(what));
+}
+
+std::string ComplianceReport::summary() const {
+  char buf[256];
+  const std::string label = what.empty() ? "spectrum" : what;
+  if (points.empty()) {
+    std::snprintf(buf, sizeof buf, "%s vs %s: no points in mask range", label.c_str(),
+                  mask_name.c_str());
+    return buf;
+  }
+  const MarginPoint& w = points[worst_index];
+  std::snprintf(buf, sizeof buf,
+                "%s vs %s: %s, worst margin %+.1f dB at %.4g MHz (%.1f dBuV, limit %.1f)",
+                label.c_str(), mask_name.c_str(), pass ? "PASS" : "FAIL", worst_margin_db,
+                w.f / 1e6, w.level_dbuv, w.limit_dbuv);
+  return buf;
+}
+
+}  // namespace emc::spec

@@ -1,0 +1,74 @@
+// Emission-limit masks and compliance checking: the final stage of the
+// EMC-assessment pipeline. A LimitMask is a piecewise-log-linear limit
+// line in dBuV vs. frequency (CISPR 32 conducted masks built in,
+// user-defined masks via breakpoints); check_compliance scores a measured
+// spectrum against it and reports per-point and worst-case margins.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "emc/spectrum.hpp"
+
+namespace emc::spec {
+
+/// Frequency-dependent emission limit. Between breakpoints the limit is
+/// interpolated linearly in log10(f) (the shape CISPR masks are drawn in);
+/// two breakpoints at the same frequency encode a step, with the
+/// higher-frequency segment taking effect at the boundary. Frequencies
+/// outside [points.front().f, points.back().f] are not covered.
+struct LimitMask {
+  struct Point {
+    double f = 0.0;           ///< breakpoint frequency [Hz]
+    double limit_dbuv = 0.0;  ///< limit at that frequency [dBuV]
+  };
+
+  std::string name;
+  std::vector<Point> points;  ///< sorted by frequency, non-decreasing
+
+  bool covers(double f) const;
+  /// Limit at `f` in dBuV; quiet NaN when not covered.
+  double at(double f) const;
+
+  // CISPR 32 conducted emission limits at the mains port (quasi-peak and
+  // average detectors), 150 kHz - 30 MHz.
+  static LimitMask cispr32_class_a_conducted_qp();
+  static LimitMask cispr32_class_a_conducted_avg();
+  static LimitMask cispr32_class_b_conducted_qp();
+  static LimitMask cispr32_class_b_conducted_avg();
+};
+
+/// One scored frequency point of a compliance check.
+struct MarginPoint {
+  double f = 0.0;
+  double level_dbuv = 0.0;
+  double limit_dbuv = 0.0;
+  double margin_db = 0.0;  ///< limit - level; negative = violation
+};
+
+struct ComplianceReport {
+  std::string mask_name;
+  std::string what;                  ///< label of the spectrum under test
+  std::vector<MarginPoint> points;   ///< only frequencies the mask covers
+  double worst_margin_db = 0.0;      ///< min margin; meaningless when empty
+  std::size_t worst_index = 0;       ///< into `points`
+  bool pass = true;
+
+  /// One-line human-readable verdict.
+  std::string summary() const;
+};
+
+/// Score (freq, level) pairs against a mask. Points the mask does not
+/// cover are skipped; an empty intersection yields pass = true with no
+/// points (the summary says so).
+ComplianceReport check_compliance(std::span<const double> freq,
+                                  std::span<const double> level_dbuv,
+                                  const LimitMask& mask, std::string what = "");
+
+/// Convenience overload for a uniform-grid dBuV spectrum.
+ComplianceReport check_compliance(const Spectrum& spectrum_dbuv, const LimitMask& mask,
+                                  std::string what = "");
+
+}  // namespace emc::spec

@@ -1,0 +1,142 @@
+#include "emc/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+#include "emc/fft.hpp"
+#include "emc/spectrum.hpp"
+
+namespace emc::spec {
+
+ReceiverSettings ReceiverSettings::cispr_band_a() {
+  ReceiverSettings s;
+  s.name = "CISPR band A";
+  s.f_start = 9e3;
+  s.f_stop = 150e3;
+  s.n_points = 100;
+  s.rbw = 200.0;
+  s.tau_charge = 45e-3;
+  s.tau_discharge = 500e-3;
+  return s;
+}
+
+ReceiverSettings ReceiverSettings::cispr_band_b() {
+  ReceiverSettings s;
+  s.name = "CISPR band B";
+  s.f_start = 150e3;
+  s.f_stop = 30e6;
+  s.n_points = 100;
+  s.rbw = 9e3;
+  s.tau_charge = 1e-3;
+  s.tau_discharge = 160e-3;
+  return s;
+}
+
+ReceiverSettings ReceiverSettings::with_time_scale(double s) const {
+  ReceiverSettings out = *this;
+  out.tau_charge *= s;
+  out.tau_discharge *= s;
+  return out;
+}
+
+EmiScan emi_scan(const sig::Waveform& w, const ReceiverSettings& s) {
+  const std::size_t n = w.size();
+  if (n < 4) throw std::invalid_argument("emi_scan: record too short");
+  if (!(s.f_start > 0.0 && s.f_stop > s.f_start))
+    throw std::invalid_argument("emi_scan: bad frequency span");
+  if (!(s.rbw > 0.0)) throw std::invalid_argument("emi_scan: RBW must be positive");
+  if (!(s.tau_charge > 0.0 && s.tau_discharge > 0.0))
+    throw std::invalid_argument("emi_scan: QP time constants must be positive");
+
+  const double fs = 1.0 / w.dt();
+  const double f_nyq = fs / 2.0;
+  const double df = fs / static_cast<double>(n);
+
+  // One forward transform of the record; each scan point reuses it.
+  FftPlan plan(n);
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t k = 0; k < n; ++k) x[k] = {w[k], 0.0};
+  plan.forward(x.data());
+
+  std::vector<std::complex<double>> y(n);
+
+  // Gaussian RBW filter, -6 dB (amplitude 1/2) at +-rbw/2 off the carrier.
+  const double half = s.rbw / 2.0;
+  const double alpha = std::numbers::ln2 / (half * half);
+  // Beyond this offset the filter is < 1e-7 and bins are skipped entirely.
+  const double reach = std::sqrt(16.1 / alpha);  // exp(-16.1) ~ 1e-7
+
+  // A record must be long enough to resolve the RBW: if the filter could
+  // fall entirely between two FFT bins the detectors would silently read
+  // the -120 dBuV floor and compliance checks would false-PASS. Refuse
+  // loudly instead.
+  if (2.0 * reach < df)
+    throw std::invalid_argument(
+        "emi_scan: record too short for this RBW (need duration >= ~1/(4.8*rbw))");
+
+  EmiScan out;
+  out.receiver = s.name;
+  const std::size_t np = std::max<std::size_t>(2, s.n_points);
+  const double lg0 = std::log(s.f_start);
+  const double lg1 = std::log(s.f_stop);
+
+  for (std::size_t p = 0; p < np; ++p) {
+    // Exact endpoints (exp(log(x)) need not round-trip, and downstream
+    // mask checks treat band edges as inclusive).
+    const double fc =
+        p == 0 ? s.f_start
+        : p == np - 1
+            ? s.f_stop
+            : std::exp(lg0 +
+                       (lg1 - lg0) * static_cast<double>(p) / static_cast<double>(np - 1));
+    if (fc >= f_nyq) break;
+
+    // Analytic signal of the RBW-filtered record: positive-frequency bins
+    // only, doubled, then inverse FFT. |z(t)| is the carrier envelope.
+    std::fill(y.begin(), y.end(), std::complex<double>{0.0, 0.0});
+    const std::size_t k_lo =
+        static_cast<std::size_t>(std::max(1.0, std::ceil((fc - reach) / df)));
+    const std::size_t k_hi = std::min<std::size_t>(
+        n / 2, static_cast<std::size_t>(std::floor((fc + reach) / df)));
+    for (std::size_t k = k_lo; k <= k_hi; ++k) {
+      const double d = static_cast<double>(k) * df - fc;
+      const double h = std::exp(-alpha * d * d);
+      const bool paired = k != 0 && !(n % 2 == 0 && k == n / 2);
+      y[k] = x[k] * (h * (paired ? 2.0 : 1.0));
+    }
+    plan.inverse(y.data());
+
+    // Detectors on the envelope (converted to the RMS of the equivalent
+    // sine at readout, as an EMI receiver is calibrated).
+    double env_peak = 0.0;
+    double env_sum = 0.0;
+    double v_qp = 0.0;
+    double qp_max = 0.0;
+    // CISPR quasi-peak circuit: charge toward the envelope through
+    // tau_charge while the detector diode conducts, discharge through
+    // tau_discharge always. Exact exponential updates per sample keep the
+    // integration unconditionally stable for any dt / tau ratio.
+    const double kc = std::exp(-w.dt() / s.tau_charge);
+    const double kd = std::exp(-w.dt() / s.tau_discharge);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double e = std::abs(y[k]);
+      env_peak = std::max(env_peak, e);
+      env_sum += e;
+      if (e > v_qp) v_qp = e - (e - v_qp) * kc;
+      v_qp *= kd;
+      qp_max = std::max(qp_max, v_qp);
+    }
+    const double env_avg = env_sum / static_cast<double>(n);
+
+    out.freq.push_back(fc);
+    out.peak_dbuv.push_back(volts_to_dbuv(env_peak / std::numbers::sqrt2));
+    out.quasi_peak_dbuv.push_back(volts_to_dbuv(qp_max / std::numbers::sqrt2));
+    out.average_dbuv.push_back(volts_to_dbuv(env_avg / std::numbers::sqrt2));
+  }
+  return out;
+}
+
+}  // namespace emc::spec

@@ -1,0 +1,56 @@
+// EMI-receiver emulation: a swept-frequency measurement of a time-domain
+// record the way a CISPR 16-1-1 receiver would see it. At each scan
+// frequency the record is passed through a Gaussian resolution-bandwidth
+// filter (RBW = -6 dB width), the analytic-signal envelope is extracted,
+// and three detectors read it out: peak, average, and the classic
+// quasi-peak charge/discharge circuit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "signal/waveform.hpp"
+
+namespace emc::spec {
+
+struct ReceiverSettings {
+  std::string name = "custom";
+  double f_start = 0.0;          ///< first scan frequency [Hz]
+  double f_stop = 0.0;           ///< last scan frequency [Hz]
+  std::size_t n_points = 100;    ///< log-spaced scan frequencies
+  double rbw = 0.0;              ///< -6 dB resolution bandwidth [Hz]
+  double tau_charge = 0.0;       ///< quasi-peak charge time constant [s]
+  double tau_discharge = 0.0;    ///< quasi-peak discharge time constant [s]
+
+  /// CISPR 16 band A (9-150 kHz): RBW 200 Hz, QP 45 ms / 500 ms.
+  static ReceiverSettings cispr_band_a();
+  /// CISPR 16 band B (150 kHz-30 MHz): RBW 9 kHz, QP 1 ms / 160 ms.
+  static ReceiverSettings cispr_band_b();
+
+  /// Copy with QP time constants scaled by `s`. Real quasi-peak constants
+  /// assume >= 1 s dwell per frequency; short simulated records need the
+  /// dynamics compressed to stay meaningful (documented in the report).
+  ReceiverSettings with_time_scale(double s) const;
+};
+
+/// Swept detector readings, all in dBuV, on the log-spaced `freq` grid.
+struct EmiScan {
+  std::string receiver;
+  std::vector<double> freq;
+  std::vector<double> peak_dbuv;
+  std::vector<double> quasi_peak_dbuv;
+  std::vector<double> average_dbuv;
+
+  std::size_t size() const { return freq.size(); }
+};
+
+/// Run the swept measurement. The FFT plan and all per-frequency buffers
+/// are allocated once for the record length and reused across the scan.
+/// Scan frequencies above the record's Nyquist rate are clipped out.
+/// Throws std::invalid_argument when the record is too short to resolve
+/// the requested RBW (duration must be at least ~1/(4.8*rbw), or every
+/// detector could silently read the noise floor).
+EmiScan emi_scan(const sig::Waveform& w, const ReceiverSettings& s);
+
+}  // namespace emc::spec

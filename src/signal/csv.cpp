@@ -31,4 +31,30 @@ void write_csv(const std::string& path, const std::vector<std::string>& names,
   }
 }
 
+void write_spectrum_csv(const std::string& path, const std::vector<std::string>& names,
+                        const std::vector<double>& freq,
+                        const std::vector<std::vector<double>>& columns) {
+  if (names.size() != columns.size())
+    throw std::invalid_argument("write_spectrum_csv: names/columns size mismatch");
+  if (columns.empty()) throw std::invalid_argument("write_spectrum_csv: no columns");
+  for (const auto& c : columns)
+    if (c.size() != freq.size())
+      throw std::invalid_argument("write_spectrum_csv: column length != freq length");
+
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_spectrum_csv: cannot open " + path);
+
+  os << "freq_hz";
+  for (const auto& n : names) os << ',' << n;
+  os << '\n';
+  for (std::size_t k = 0; k < freq.size(); ++k) {
+    os << freq[k];
+    for (const auto& c : columns) os << ',' << c[k];
+    os << '\n';
+  }
+}
+
 }  // namespace emc::sig

@@ -15,4 +15,13 @@ namespace emc::sig {
 void write_csv(const std::string& path, const std::vector<std::string>& names,
                const std::vector<Waveform>& columns);
 
+/// Write spectral columns to a CSV file with a header row:
+/// freq_hz,<name0>,<name1>,... All columns must have the same length as
+/// `freq` (values in whatever unit the producer used, typically dBuV).
+/// Creates parent directories if missing. Throws std::runtime_error if the
+/// file cannot be opened.
+void write_spectrum_csv(const std::string& path, const std::vector<std::string>& names,
+                        const std::vector<double>& freq,
+                        const std::vector<std::vector<double>>& columns);
+
 }  // namespace emc::sig

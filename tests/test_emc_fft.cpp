@@ -1,0 +1,141 @@
+// FFT layer of the spectral EMC subsystem: radix-2 and Bluestein paths
+// against a naive DFT, Parseval's identity, and round-trip accuracy on
+// awkward (non-power-of-two, prime) lengths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "emc/fft.hpp"
+#include "signal/sources.hpp"
+
+using emc::spec::FftPlan;
+using cplx = std::complex<double>;
+
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  emc::sig::Lcg rng(seed);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = {rng.uniform() * 2.0 - 1.0, rng.uniform() * 2.0 - 1.0};
+  return x;
+}
+
+std::vector<cplx> naive_dft(const std::vector<cplx>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ph = -2.0 * std::numbers::pi * static_cast<double>(j * k % n) /
+                        static_cast<double>(n);
+      acc += x[j] * cplx{std::cos(ph), std::sin(ph)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(EmcFft, MatchesNaiveDftAcrossLengths) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 7u, 8u, 12u, 16u, 17u, 31u, 32u, 45u, 64u}) {
+    FftPlan plan(n);
+    auto x = random_signal(n, 1000 + n);
+    auto ref = naive_dft(x);
+    plan.forward(x.data());
+    for (std::size_t k = 0; k < n; ++k)
+      EXPECT_NEAR(std::abs(x[k] - ref[k]), 0.0, 1e-9 * static_cast<double>(n))
+          << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(EmcFft, ImpulseAndDc) {
+  FftPlan plan(24);
+  std::vector<cplx> impulse(24, 0.0);
+  impulse[0] = 1.0;
+  plan.forward(impulse.data());
+  for (const auto& v : impulse) EXPECT_NEAR(std::abs(v - cplx{1.0, 0.0}), 0.0, 1e-12);
+
+  std::vector<cplx> dc(24, 1.0);
+  plan.forward(dc.data());
+  EXPECT_NEAR(std::abs(dc[0] - cplx{24.0, 0.0}), 0.0, 1e-12);
+  for (std::size_t k = 1; k < dc.size(); ++k) EXPECT_NEAR(std::abs(dc[k]), 0.0, 1e-11);
+}
+
+TEST(EmcFft, ParsevalIdentity) {
+  // sum |x|^2 == (1/n) sum |X|^2, on both radix-2 and Bluestein paths.
+  for (std::size_t n : {256u, 1000u, 729u, 1021u}) {  // 1021 is prime
+    FftPlan plan(n);
+    auto x = random_signal(n, 7 * n);
+    double time_energy = 0.0;
+    for (const auto& v : x) time_energy += std::norm(v);
+    plan.forward(x.data());
+    double freq_energy = 0.0;
+    for (const auto& v : x) freq_energy += std::norm(v);
+    freq_energy /= static_cast<double>(n);
+    EXPECT_NEAR(freq_energy, time_energy, 1e-10 * time_energy) << "n=" << n;
+  }
+}
+
+TEST(EmcFft, RoundTripBelow1em12OnNonPowerOfTwo) {
+  // Acceptance criterion: forward + inverse returns the input to < 1e-12
+  // on non-power-of-two lengths.
+  for (std::size_t n : {600u, 1000u, 1021u, 2400u}) {
+    FftPlan plan(n);
+    const auto x0 = random_signal(n, 31 * n);
+    auto x = x0;
+    plan.forward(x.data());
+    plan.inverse(x.data());
+    double worst = 0.0;
+    for (std::size_t k = 0; k < n; ++k) worst = std::max(worst, std::abs(x[k] - x0[k]));
+    EXPECT_LT(worst, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(EmcFft, InverseUndoesForwardPow2) {
+  FftPlan plan(512);
+  const auto x0 = random_signal(512, 99);
+  auto x = x0;
+  plan.forward(x.data());
+  plan.inverse(x.data());
+  for (std::size_t k = 0; k < x.size(); ++k)
+    EXPECT_NEAR(std::abs(x[k] - x0[k]), 0.0, 1e-12);
+}
+
+TEST(EmcFft, ForwardRealMatchesComplexBins) {
+  const std::size_t n = 300;
+  emc::sig::Lcg rng(5);
+  std::vector<double> xr(n);
+  std::vector<cplx> xc(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    xr[k] = rng.uniform() * 2.0 - 1.0;
+    xc[k] = {xr[k], 0.0};
+  }
+  FftPlan plan(n);
+  std::vector<cplx> bins;
+  plan.forward_real(xr, bins);
+  plan.forward(xc.data());
+  ASSERT_EQ(bins.size(), n / 2 + 1);
+  for (std::size_t k = 0; k < bins.size(); ++k)
+    EXPECT_NEAR(std::abs(bins[k] - xc[k]), 0.0, 1e-11);
+}
+
+TEST(EmcFft, PlanIsReusable) {
+  // Two different records through one plan: no state leaks between calls.
+  FftPlan plan(90);
+  auto a = random_signal(90, 1);
+  auto b = random_signal(90, 2);
+  auto a_ref = naive_dft(a);
+  auto b_ref = naive_dft(b);
+  plan.forward(a.data());
+  plan.forward(b.data());
+  for (std::size_t k = 0; k < 90; ++k) {
+    EXPECT_NEAR(std::abs(a[k] - a_ref[k]), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(b[k] - b_ref[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(EmcFft, RejectsZeroLength) { EXPECT_THROW(FftPlan(0), std::invalid_argument); }

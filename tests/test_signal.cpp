@@ -238,3 +238,86 @@ TEST(Csv, Validation) {
   EXPECT_THROW(write_csv("/tmp/x.csv", {"a", "b"}, {a}), std::invalid_argument);
   EXPECT_THROW(write_csv("/tmp/x.csv", {}, {}), std::invalid_argument);
 }
+
+TEST(Csv, SpectrumWriterHeaderAndRows) {
+  const std::string path = std::filesystem::temp_directory_path() / "emc_spec_csv_test.csv";
+  write_spectrum_csv(path, {"ref_dbuv", "model_dbuv"}, {1e6, 2e6},
+                     {{60.0, 55.0}, {59.5, 54.0}});
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "freq_hz,ref_dbuv,model_dbuv");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1e+06,60,59.5");
+  std::getline(is, line);
+  EXPECT_EQ(line, "2e+06,55,54");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, SpectrumWriterValidation) {
+  EXPECT_THROW(write_spectrum_csv("/tmp/x.csv", {"a"}, {1.0, 2.0}, {{1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(write_spectrum_csv("/tmp/x.csv", {"a", "b"}, {1.0}, {{1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(write_spectrum_csv("/tmp/x.csv", {}, {}, {}), std::invalid_argument);
+}
+
+// ---- degenerate metric inputs: empty, constant, and single-sample records
+
+TEST(MetricsDegenerate, EmptyWaveforms) {
+  Waveform empty;
+  Waveform ramp(0.0, 1.0, {0.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(rms(empty), 0.0);
+  EXPECT_DOUBLE_EQ(rms_error(empty, ramp), 0.0);
+  EXPECT_DOUBLE_EQ(max_error(empty, ramp), 0.0);
+  EXPECT_TRUE(threshold_crossings(empty, 0.5).empty());
+  EXPECT_TRUE(threshold_crossings_hysteresis(empty, 0.5, 0.1).empty());
+  EXPECT_EQ(timing_error(empty, ramp, 0.5), std::nullopt);
+  EXPECT_EQ(timing_error(ramp, empty, 0.5), std::nullopt);
+  EXPECT_EQ(edge_timing_error(empty, ramp, 0.5, 0.1), std::nullopt);
+}
+
+TEST(MetricsDegenerate, ConstantWaveforms) {
+  Waveform flat(0.0, 1.0, std::vector<double>(8, 1.0));
+  Waveform ramp(0.0, 1.0, {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0});
+
+  // A constant record never crosses an off-level threshold.
+  EXPECT_TRUE(threshold_crossings(flat, 0.5).empty());
+  EXPECT_TRUE(threshold_crossings_hysteresis(flat, 0.5, 0.1).empty());
+  EXPECT_EQ(timing_error(flat, ramp, 0.5), std::nullopt);
+  EXPECT_EQ(timing_error(ramp, flat, 0.5), std::nullopt);
+  EXPECT_EQ(edge_timing_error(flat, ramp, 0.5, 0.1), std::nullopt);
+
+  // Sitting exactly on the threshold: each touch registers at the sample
+  // time (documented touching-equality behavior), and hysteresis
+  // deglitching reports none.
+  const auto touching = threshold_crossings(flat, 1.0);
+  ASSERT_EQ(touching.size(), 7u);
+  EXPECT_DOUBLE_EQ(touching.front(), 0.0);
+  EXPECT_TRUE(threshold_crossings_hysteresis(flat, 1.0, 0.1).empty());
+
+  // Identical constants: zero error, no timing information.
+  EXPECT_DOUBLE_EQ(rms_error(flat, flat), 0.0);
+  EXPECT_DOUBLE_EQ(max_error(flat, flat), 0.0);
+  EXPECT_DOUBLE_EQ(rms(flat), 1.0);
+}
+
+TEST(MetricsDegenerate, SingleSampleRecords) {
+  Waveform one(0.0, 1.0, {2.0});
+  Waveform ramp(0.0, 1.0, {0.0, 1.0, 2.0});
+
+  EXPECT_DOUBLE_EQ(rms(one), 2.0);
+  // Errors are evaluated on the first record's grid; the other record is
+  // interpolated (clamped) at t = 0.
+  EXPECT_DOUBLE_EQ(rms_error(one, ramp), 2.0);
+  EXPECT_DOUBLE_EQ(max_error(one, ramp), 2.0);
+
+  // One sample has no interval to cross in.
+  EXPECT_TRUE(threshold_crossings(one, 1.0).empty());
+  EXPECT_TRUE(threshold_crossings_hysteresis(one, 1.0, 0.1).empty());
+  EXPECT_EQ(timing_error(one, ramp, 1.0), std::nullopt);
+  EXPECT_EQ(timing_error(ramp, one, 1.0), std::nullopt);
+  EXPECT_EQ(edge_timing_error(one, ramp, 1.0, 0.1), std::nullopt);
+}
