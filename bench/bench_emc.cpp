@@ -133,9 +133,9 @@ int main(int argc, char** argv) {
     auto o = bench::Json::object();
     o.set("pass", bench::Json::boolean(r.pass));
     o.set("worst_margin_db", bench::Json::number(r.worst_margin_db));
-    if (!r.points.empty()) {
-      o.set("worst_f_mhz", bench::Json::number(r.points[r.worst_index].f / 1e6));
-      o.set("worst_level_dbuv", bench::Json::number(r.points[r.worst_index].level_dbuv));
+    if (const auto* w = r.worst_point()) {
+      o.set("worst_f_mhz", bench::Json::number(w->f / 1e6));
+      o.set("worst_level_dbuv", bench::Json::number(w->level_dbuv));
     }
     return o;
   };

@@ -104,7 +104,13 @@ class Device {
   virtual void start_step(const SimState& st) { (void)st; }
 
   /// Contribute the (linearized) stamp for the current Newton candidate.
-  virtual void stamp(Stamper& s, const SimState& st) = 0;
+  ///
+  /// `stamp` is const on purpose: it runs once per Newton iteration and
+  /// must not mutate device state — history updates belong in start_step
+  /// (before the solve) and commit (after it). This is what makes a
+  /// device's backing model (e.g. one estimated macromodel instance)
+  /// provably safe to share across concurrently running analyses.
+  virtual void stamp(Stamper& s, const SimState& st) const = 0;
 
   /// Accept the step: update internal history from the solved state.
   virtual void commit(const SimState& st) { (void)st; }

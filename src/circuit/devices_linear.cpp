@@ -9,7 +9,7 @@ Resistor::Resistor(int a, int b, double ohms) : a_(a), b_(b), g_(1.0 / ohms) {
   if (ohms <= 0.0) throw std::invalid_argument("Resistor: resistance must be positive");
 }
 
-void Resistor::stamp(Stamper& s, const SimState&) { s.conductance(a_, b_, g_); }
+void Resistor::stamp(Stamper& s, const SimState&) const { s.conductance(a_, b_, g_); }
 
 Capacitor::Capacitor(int a, int b, double farads) : a_(a), b_(b), c_(farads) {
   if (farads <= 0.0) throw std::invalid_argument("Capacitor: capacitance must be positive");
@@ -21,7 +21,7 @@ void Capacitor::start_step(const SimState& st) {
   ieq_ = geq_ * v_prev + i_prev_;
 }
 
-void Capacitor::stamp(Stamper& s, const SimState& st) {
+void Capacitor::stamp(Stamper& s, const SimState& st) const {
   if (st.dc) return;  // open circuit at DC
   s.conductance(a_, b_, geq_);
   s.current_source(b_, a_, ieq_);  // i = geq*v - ieq flowing a->b
@@ -46,7 +46,7 @@ Inductor::Inductor(int a, int b, double henries) : a_(a), b_(b), l_(henries) {
 
 void Inductor::start_step(const SimState&) {}
 
-void Inductor::stamp(Stamper& s, const SimState& st) {
+void Inductor::stamp(Stamper& s, const SimState& st) const {
   const int j = extra_base_;
   // Branch current leaves a and enters b.
   s.g(a_, j, 1.0);
@@ -75,7 +75,7 @@ VSource::VSource(int p, int m, std::function<double(double)> value)
 VSource::VSource(int p, int m, double dc_value)
     : p_(p), m_(m), value_([dc_value](double) { return dc_value; }) {}
 
-void VSource::stamp(Stamper& s, const SimState& st) {
+void VSource::stamp(Stamper& s, const SimState& st) const {
   const int j = extra_base_;
   s.g(p_, j, 1.0);
   s.g(m_, j, -1.0);
@@ -87,14 +87,14 @@ void VSource::stamp(Stamper& s, const SimState& st) {
 ISource::ISource(int a, int b, std::function<double(double)> value)
     : a_(a), b_(b), value_(std::move(value)) {}
 
-void ISource::stamp(Stamper& s, const SimState& st) {
+void ISource::stamp(Stamper& s, const SimState& st) const {
   s.current_source(a_, b_, st.src_scale * value_(st.t));
 }
 
 Vccs::Vccs(int a, int b, int ca, int cb, double gm)
     : a_(a), b_(b), ca_(ca), cb_(cb), gm_(gm) {}
 
-void Vccs::stamp(Stamper& s, const SimState&) {
+void Vccs::stamp(Stamper& s, const SimState&) const {
   s.g(a_, ca_, gm_);
   s.g(a_, cb_, -gm_);
   s.g(b_, ca_, -gm_);
@@ -104,7 +104,7 @@ void Vccs::stamp(Stamper& s, const SimState&) {
 Vcvs::Vcvs(int p, int m, int ca, int cb, double k)
     : p_(p), m_(m), ca_(ca), cb_(cb), k_(k) {}
 
-void Vcvs::stamp(Stamper& s, const SimState&) {
+void Vcvs::stamp(Stamper& s, const SimState&) const {
   const int j = extra_base_;
   s.g(p_, j, 1.0);
   s.g(m_, j, -1.0);
@@ -139,7 +139,7 @@ std::pair<double, double> TableCurrent::eval(double v) const {
   return {p0.second + slope * (v - p0.first), slope};
 }
 
-void TableCurrent::stamp(Stamper& s, const SimState& st) {
+void TableCurrent::stamp(Stamper& s, const SimState& st) const {
   const double v = st.v(a_) - st.v(b_);
   const auto [i, g] = eval(v);
   s.nonlinear_current(a_, b_, scale_ * i, scale_ * g, v);

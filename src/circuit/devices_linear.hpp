@@ -13,7 +13,7 @@ namespace emc::ckt {
 class Resistor : public Device {
  public:
   Resistor(int a, int b, double ohms);
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
 
  private:
   int a_, b_;
@@ -25,7 +25,7 @@ class Capacitor : public Device {
  public:
   Capacitor(int a, int b, double farads);
   void start_step(const SimState& st) override;
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
   void commit(const SimState& st) override;
   void post_dc(const SimState& st) override;
   void reset() override;
@@ -44,7 +44,7 @@ class Inductor : public Device {
   Inductor(int a, int b, double henries);
   int num_extra() const override { return 1; }
   void start_step(const SimState& st) override;
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
   void reset() override;
 
   /// Terminal id of the branch-current unknown (valid after finalize()).
@@ -66,7 +66,7 @@ class VSource : public Device {
   VSource(int p, int m, double dc_value);
 
   int num_extra() const override { return 1; }
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
 
   int current_id() const { return extra_base_; }
   double value_at(double t) const { return value_(t); }
@@ -80,7 +80,7 @@ class VSource : public Device {
 class ISource : public Device {
  public:
   ISource(int a, int b, std::function<double(double)> value);
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
 
  private:
   int a_, b_;
@@ -91,7 +91,7 @@ class ISource : public Device {
 class Vccs : public Device {
  public:
   Vccs(int a, int b, int ca, int cb, double gm);
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
 
  private:
   int a_, b_, ca_, cb_;
@@ -103,7 +103,7 @@ class Vcvs : public Device {
  public:
   Vcvs(int p, int m, int ca, int cb, double k);
   int num_extra() const override { return 1; }
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
 
  private:
   int p_, m_, ca_, cb_;
@@ -119,7 +119,7 @@ class TableCurrent : public Device {
   TableCurrent(int a, int b, std::vector<std::pair<double, double>> iv);
 
   bool nonlinear() const override { return true; }
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
 
   /// Scale factor applied to the whole table (default 1). The owner may
   /// update it every step (time-dependent switching coefficients).

@@ -23,7 +23,7 @@ std::pair<double, double> Diode::eval(double v) const {
   return {i + p_.gmin * v, g + p_.gmin};
 }
 
-void Diode::stamp(Stamper& s, const SimState& st) {
+void Diode::stamp(Stamper& s, const SimState& st) const {
   const double v = st.v(a_) - st.v(b_);
   const auto [i, g] = eval(v);
   s.nonlinear_current(a_, b_, i, g, v);
@@ -71,7 +71,7 @@ double Mosfet::drain_current(double vd, double vg, double vs) const {
   return swapped ? -ide : ide;
 }
 
-void Mosfet::stamp(Stamper& s, const SimState& st) {
+void Mosfet::stamp(Stamper& s, const SimState& st) const {
   const double sign = (p_.type == MosType::Nmos) ? 1.0 : -1.0;
   int de = d_, se = s_;
   if (sign * (st.v(d_) - st.v(s_)) < 0.0) std::swap(de, se);

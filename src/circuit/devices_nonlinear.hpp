@@ -18,7 +18,7 @@ class Diode : public Device {
  public:
   Diode(int a, int b, DiodeParams p = {});
   bool nonlinear() const override { return true; }
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
 
   /// Exponential i(v) and slope with overflow-safe linearization above
   /// the internal critical voltage.
@@ -48,7 +48,7 @@ class Mosfet : public Device {
  public:
   Mosfet(int d, int g, int s, MosParams p);
   bool nonlinear() const override { return true; }
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
 
   /// Drain current into the drain terminal for the given node voltages
   /// (sign convention of the device type). Exposed for unit tests.

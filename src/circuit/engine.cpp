@@ -162,6 +162,12 @@ void dc_operating_point(Circuit& ckt, std::vector<double>& x, const TransientOpt
 }
 
 TransientResult run_transient(Circuit& ckt, const TransientOptions& opt) {
+  NewtonWorkspace ws;
+  return run_transient(ckt, opt, ws);
+}
+
+TransientResult run_transient(Circuit& ckt, const TransientOptions& opt,
+                              NewtonWorkspace& ws) {
   if (opt.t_stop <= opt.t_start)
     throw std::invalid_argument("run_transient: t_stop must exceed t_start");
   if (opt.dt <= 0.0) throw std::invalid_argument("run_transient: dt must be positive");
@@ -171,7 +177,12 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opt) {
 
   for (const auto& dev : ckt.devices()) dev->reset();
 
-  NewtonWorkspace ws(static_cast<std::size_t>(n_unknowns));
+  // Reuse caller-owned scratch when the size already matches; a cached LU
+  // can never be trusted across circuits, so it is dropped either way.
+  if (ws.g.rows() != static_cast<std::size_t>(n_unknowns))
+    ws.resize(static_cast<std::size_t>(n_unknowns));
+  else
+    ws.invalidate();
   const bool linear = circuit_is_linear(ckt);
 
   if (opt.dc_start) {

@@ -37,8 +37,11 @@ struct TransientOptions {
 /// Reusable scratch for the Newton/MNA solve. Hoists the dense system
 /// (Jacobian, right-hand side, candidate update) and the LU factorization
 /// storage out of the per-step solve, so steady-state stepping performs no
-/// heap allocation. One workspace serves one circuit for the lifetime of
-/// an analysis; run_transient owns one internally.
+/// heap allocation. One workspace serves one circuit at a time; the
+/// two-argument run_transient owns one internally, and batch drivers (the
+/// emc::sweep corner runner) pass a long-lived workspace to the
+/// three-argument overload so back-to-back analyses of same-sized circuits
+/// reuse the dense storage without reallocation.
 class NewtonWorkspace {
  public:
   NewtonWorkspace() = default;
@@ -88,7 +91,8 @@ class TransientResult {
   SolveStats stats;
 
  private:
-  friend TransientResult run_transient(Circuit& ckt, const TransientOptions& opt);
+  friend TransientResult run_transient(Circuit& ckt, const TransientOptions& opt,
+                                       NewtonWorkspace& ws);
   double t0_, dt_;
   std::size_t n_;
   std::vector<std::vector<double>> data_;
@@ -103,5 +107,13 @@ void dc_operating_point(Circuit& ckt, std::vector<double>& x, const TransientOpt
 /// Run a transient analysis; the result holds every unknown at every step
 /// (the first record is the state at t_start).
 TransientResult run_transient(Circuit& ckt, const TransientOptions& opt);
+
+/// Same analysis with caller-owned Newton scratch. The workspace is
+/// resized to the circuit's unknown count only when it does not already
+/// match (so a batch of equally sized circuits never reallocates) and any
+/// cached linear-circuit factorization is dropped (the circuit behind it
+/// may have changed). Results are identical to the two-argument overload.
+TransientResult run_transient(Circuit& ckt, const TransientOptions& opt,
+                              NewtonWorkspace& ws);
 
 }  // namespace emc::ckt

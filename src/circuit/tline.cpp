@@ -39,7 +39,7 @@ void IdealLine::start_step(const SimState& st) {
   eb_ = wave_at(wave_a_, st.t - td_);
 }
 
-void IdealLine::stamp(Stamper& s, const SimState& st) {
+void IdealLine::stamp(Stamper& s, const SimState& st) const {
   if (st.dc) {
     s.conductance(ap_, bp_, kDcShortConductance);
     if (am_ != bm_) s.conductance(am_, bm_, kDcShortConductance);
@@ -165,7 +165,7 @@ void ModalLineSegment::start_step(const SimState& st) {
   jb_ = ti_.apply(sb);
 }
 
-void ModalLineSegment::stamp(Stamper& s, const SimState& st) {
+void ModalLineSegment::stamp(Stamper& s, const SimState& st) const {
   if (st.dc) {
     for (std::size_t k = 0; k < n_; ++k)
       s.conductance(na_[k], nb_[k], kDcShortConductance);

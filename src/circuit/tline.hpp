@@ -29,7 +29,7 @@ class IdealLine : public Device {
   IdealLine(int ap, int am, int bp, int bm, double z0, double td);
 
   void start_step(const SimState& st) override;
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
   void commit(const SimState& st) override;
   void post_dc(const SimState& st) override;
   void reset() override;
@@ -79,7 +79,7 @@ class ModalLineSegment : public Device {
                    double length);
 
   void start_step(const SimState& st) override;
-  void stamp(Stamper& s, const SimState& st) override;
+  void stamp(Stamper& s, const SimState& st) const override;
   void commit(const SimState& st) override;
   void post_dc(const SimState& st) override;
   void reset() override;

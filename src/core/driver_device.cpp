@@ -52,7 +52,7 @@ void DriverDevice::start_step(const ckt::SimState& st) {
   }
 }
 
-void DriverDevice::stamp(ckt::Stamper& s, const ckt::SimState& st) {
+void DriverDevice::stamp(ckt::Stamper& s, const ckt::SimState& st) const {
   const double v = st.v(pad_);
   if (st.dc) {
     // Operating point: steady model current of the initial logic state,

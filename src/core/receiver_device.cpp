@@ -22,7 +22,7 @@ void ReceiverDevice::start_step(const ckt::SimState& st) {
         "ReceiverDevice: the engine step must equal the model sampling time Ts");
 }
 
-void ReceiverDevice::stamp(ckt::Stamper& s, const ckt::SimState& st) {
+void ReceiverDevice::stamp(ckt::Stamper& s, const ckt::SimState& st) const {
   const double v = st.v(pin_);
   if (st.dc) {
     const double i0 = model_->static_current(v);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
@@ -81,6 +82,45 @@ ComplianceReport check_compliance(const Spectrum& spectrum_dbuv, const LimitMask
   std::vector<double> freq(spectrum_dbuv.size());
   for (std::size_t k = 0; k < freq.size(); ++k) freq[k] = spectrum_dbuv.frequency_at(k);
   return check_compliance(freq, spectrum_dbuv.value, mask, std::move(what));
+}
+
+double worst_margin(std::span<const ComplianceReport> reports) {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& r : reports)
+    if (!r.points.empty()) worst = std::min(worst, r.worst_margin_db);
+  return worst;
+}
+
+std::size_t worst_report_index(std::span<const ComplianceReport> reports) {
+  std::size_t idx = SIZE_MAX;
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    if (reports[k].points.empty()) continue;
+    if (reports[k].worst_margin_db < worst) {
+      worst = reports[k].worst_margin_db;
+      idx = k;
+    }
+  }
+  return idx;
+}
+
+ComplianceReport merge_reports(std::span<const ComplianceReport> reports,
+                               std::string what) {
+  ComplianceReport out;
+  out.what = std::move(what);
+  const std::size_t wi = worst_report_index(reports);
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    const auto& r = reports[k];
+    if (out.mask_name.empty())
+      out.mask_name = r.mask_name;
+    else if (!r.mask_name.empty() && r.mask_name != out.mask_name)
+      out.mask_name += " + " + r.mask_name;
+    if (k == wi) out.worst_index = out.points.size() + r.worst_index;
+    out.points.insert(out.points.end(), r.points.begin(), r.points.end());
+    out.pass = out.pass && r.pass;
+  }
+  out.worst_margin_db = out.points.empty() ? 0.0 : worst_margin(reports);
+  return out;
 }
 
 std::string ComplianceReport::summary() const {

@@ -56,9 +56,32 @@ struct ComplianceReport {
   std::size_t worst_index = 0;       ///< into `points`
   bool pass = true;
 
+  /// The scored point with the smallest margin, or nullptr when the mask
+  /// covered nothing (callers print/aggregate the worst point constantly;
+  /// `points[worst_index]` without the empty-guard is a recurring bug).
+  const MarginPoint* worst_point() const {
+    return points.empty() ? nullptr : &points[worst_index];
+  }
+
   /// One-line human-readable verdict.
   std::string summary() const;
 };
+
+/// Minimum worst margin across several reports, skipping reports whose
+/// mask covered no points. Returns +infinity when nothing was scored.
+double worst_margin(std::span<const ComplianceReport> reports);
+
+/// Index of the report with the smallest worst margin (reports with no
+/// covered points never win). SIZE_MAX when nothing was scored.
+std::size_t worst_report_index(std::span<const ComplianceReport> reports);
+
+/// Fold several reports into one combined verdict — e.g. the CISPR 32
+/// dual-detector criterion (QP and AVG checks must both pass) or every
+/// corner of a scenario sweep. Passes iff every input passes; the worst
+/// margin / worst point come from the worst input report; `points`
+/// concatenates all scored points in input order.
+ComplianceReport merge_reports(std::span<const ComplianceReport> reports,
+                               std::string what = "");
 
 /// Score (freq, level) pairs against a mask. Points the mask does not
 /// cover are skipped; an empty intersection yields pass = true with no

@@ -42,7 +42,7 @@ ReceiverSettings ReceiverSettings::with_time_scale(double s) const {
   return out;
 }
 
-EmiScan emi_scan(const sig::Waveform& w, const ReceiverSettings& s) {
+EmiScan EmiScanner::scan(const sig::Waveform& w, const ReceiverSettings& s) {
   const std::size_t n = w.size();
   if (n < 4) throw std::invalid_argument("emi_scan: record too short");
   if (!(s.f_start > 0.0 && s.f_stop > s.f_start))
@@ -55,13 +55,18 @@ EmiScan emi_scan(const sig::Waveform& w, const ReceiverSettings& s) {
   const double f_nyq = fs / 2.0;
   const double df = fs / static_cast<double>(n);
 
-  // One forward transform of the record; each scan point reuses it.
-  FftPlan plan(n);
-  std::vector<std::complex<double>> x(n);
-  for (std::size_t k = 0; k < n; ++k) x[k] = {w[k], 0.0};
-  plan.forward(x.data());
+  // One forward transform of the record; each scan point reuses it. The
+  // plan survives across scan() calls, so batched runs over equally sized
+  // records (every corner of a sweep) plan once.
+  if (!plan_ || plan_->size() != n) plan_.emplace(n);
+  x_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) x_[k] = {w[k], 0.0};
+  plan_->forward(x_.data());
 
-  std::vector<std::complex<double>> y(n);
+  y_.resize(n);
+  auto& x = x_;
+  auto& y = y_;
+  FftPlan& plan = *plan_;
 
   // Gaussian RBW filter, -6 dB (amplitude 1/2) at +-rbw/2 off the carrier.
   const double half = s.rbw / 2.0;
@@ -137,6 +142,11 @@ EmiScan emi_scan(const sig::Waveform& w, const ReceiverSettings& s) {
     out.average_dbuv.push_back(volts_to_dbuv(env_avg / std::numbers::sqrt2));
   }
   return out;
+}
+
+EmiScan emi_scan(const sig::Waveform& w, const ReceiverSettings& s) {
+  EmiScanner scanner;
+  return scanner.scan(w, s);
 }
 
 }  // namespace emc::spec

@@ -6,10 +6,13 @@
 // quasi-peak charge/discharge circuit.
 #pragma once
 
+#include <complex>
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "emc/fft.hpp"
 #include "signal/waveform.hpp"
 
 namespace emc::spec {
@@ -45,12 +48,29 @@ struct EmiScan {
   std::size_t size() const { return freq.size(); }
 };
 
-/// Run the swept measurement. The FFT plan and all per-frequency buffers
-/// are allocated once for the record length and reused across the scan.
-/// Scan frequencies above the record's Nyquist rate are clipped out.
-/// Throws std::invalid_argument when the record is too short to resolve
-/// the requested RBW (duration must be at least ~1/(4.8*rbw), or every
-/// detector could silently read the noise floor).
+/// Reusable swept-measurement engine for batched receiver runs. One
+/// scanner keeps the FFT plan and both transform buffers alive across
+/// scan() calls, so a corner sweep measuring hundreds of equally sized
+/// records plans the FFT exactly once per worker (the plan is rebuilt only
+/// when the record length changes). A scanner is cheap state, not a
+/// shared resource: give each concurrent worker its own instance.
+class EmiScanner {
+ public:
+  /// Run the swept measurement. Per-frequency buffers are reused across
+  /// the scan and across calls. Scan frequencies above the record's
+  /// Nyquist rate are clipped out. Throws std::invalid_argument when the
+  /// record is too short to resolve the requested RBW (duration must be
+  /// at least ~1/(4.8*rbw), or every detector could silently read the
+  /// noise floor).
+  EmiScan scan(const sig::Waveform& w, const ReceiverSettings& s);
+
+ private:
+  std::optional<FftPlan> plan_;
+  std::vector<std::complex<double>> x_;  ///< forward transform of the record
+  std::vector<std::complex<double>> y_;  ///< per-frequency filtered copy
+};
+
+/// One-shot convenience wrapper around EmiScanner (plans the FFT per call).
 EmiScan emi_scan(const sig::Waveform& w, const ReceiverSettings& s);
 
 }  // namespace emc::spec

@@ -61,7 +61,7 @@ void IbisDriverDevice::start_step(const ckt::SimState& st) {
   ieq_ = geq_ * v_prev + icap_prev_;
 }
 
-void IbisDriverDevice::stamp(ckt::Stamper& s, const ckt::SimState& st) {
+void IbisDriverDevice::stamp(ckt::Stamper& s, const ckt::SimState& st) const {
   const double v = st.v(pad_);
   const auto [ipu, gpu] = table_eval(model_->pullup, v);
   const auto [ipd, gpd] = table_eval(model_->pulldown, v);

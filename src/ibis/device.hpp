@@ -17,7 +17,7 @@ class IbisDriverDevice : public ckt::Device {
 
   bool nonlinear() const override { return true; }
   void start_step(const ckt::SimState& st) override;
-  void stamp(ckt::Stamper& s, const ckt::SimState& st) override;
+  void stamp(ckt::Stamper& s, const ckt::SimState& st) const override;
   void commit(const ckt::SimState& st) override;
   void post_dc(const ckt::SimState& st) override;
   void reset() override;

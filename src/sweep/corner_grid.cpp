@@ -1,0 +1,127 @@
+#include "sweep/corner_grid.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "signal/sources.hpp"
+
+namespace emc::sweep {
+
+const char* detector_name(Detector d) {
+  switch (d) {
+    case Detector::kPeak: return "peak";
+    case Detector::kQuasiPeak: return "qp";
+    case Detector::kAverage: return "avg";
+  }
+  return "?";
+}
+
+const char* axis_name(AxisId a) {
+  switch (a) {
+    case AxisId::kVddScale: return "vdd_scale";
+    case AxisId::kPatternSeed: return "pattern_seed";
+    case AxisId::kLineLength: return "line_length";
+    case AxisId::kLoadC: return "load_c";
+    case AxisId::kDetector: return "detector";
+    case AxisId::kRbw: return "rbw";
+  }
+  return "?";
+}
+
+std::string prbs_bits(std::uint64_t seed, std::size_t n_bits) {
+  // Decorrelate consecutive seeds (1, 2, 3, ...) before feeding the LCG:
+  // a splitmix64-style finalizer, so every axis value yields an unrelated
+  // stream while remaining a pure function of the seed.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  sig::Lcg rng(z);
+  std::string bits(n_bits, '0');
+  for (auto& b : bits) b = rng.below(2) ? '1' : '0';
+  return bits;
+}
+
+CornerGrid::CornerGrid(CornerAxes axes) : axes_(std::move(axes)) {
+  if (axes_.vdd_scale.empty() || axes_.pattern_seed.empty() ||
+      axes_.line_length.empty() || axes_.load_c.empty() || axes_.detector.empty() ||
+      axes_.rbw.empty())
+    throw std::invalid_argument("CornerGrid: every axis needs at least one value");
+  if (axes_.pattern_bits == 0)
+    throw std::invalid_argument("CornerGrid: pattern_bits must be positive");
+  size_ = 1;
+  for (std::size_t a = 0; a < kNumAxes; ++a) size_ *= axis_size(static_cast<AxisId>(a));
+}
+
+std::size_t CornerGrid::axis_size(AxisId a) const {
+  switch (a) {
+    case AxisId::kVddScale: return axes_.vdd_scale.size();
+    case AxisId::kPatternSeed: return axes_.pattern_seed.size();
+    case AxisId::kLineLength: return axes_.line_length.size();
+    case AxisId::kLoadC: return axes_.load_c.size();
+    case AxisId::kDetector: return axes_.detector.size();
+    case AxisId::kRbw: return axes_.rbw.size();
+  }
+  return 0;
+}
+
+std::string CornerGrid::axis_value_label(AxisId a, std::size_t k) const {
+  char buf[48];
+  switch (a) {
+    case AxisId::kVddScale:
+      std::snprintf(buf, sizeof buf, "vdd=%.2f", axes_.vdd_scale.at(k));
+      break;
+    case AxisId::kPatternSeed:
+      std::snprintf(buf, sizeof buf, "seed=%llu",
+                    static_cast<unsigned long long>(axes_.pattern_seed.at(k)));
+      break;
+    case AxisId::kLineLength:
+      std::snprintf(buf, sizeof buf, "len=%.3fm", axes_.line_length.at(k));
+      break;
+    case AxisId::kLoadC:
+      std::snprintf(buf, sizeof buf, "load=%.1fpF", axes_.load_c.at(k) * 1e12);
+      break;
+    case AxisId::kDetector:
+      std::snprintf(buf, sizeof buf, "det=%s", detector_name(axes_.detector.at(k)));
+      break;
+    case AxisId::kRbw:
+      std::snprintf(buf, sizeof buf, "rbw=%.0fMHz", axes_.rbw.at(k) / 1e6);
+      break;
+  }
+  return buf;
+}
+
+Scenario CornerGrid::at(std::size_t index) const {
+  if (index >= size_) throw std::out_of_range("CornerGrid::at: corner index past size()");
+
+  Scenario sc;
+  sc.index = index;
+  // Mixed-radix decode, fastest axis (rbw) extracted first.
+  std::size_t rem = index;
+  for (std::size_t a = kNumAxes; a-- > 0;) {
+    const std::size_t radix = axis_size(static_cast<AxisId>(a));
+    sc.coord[a] = rem % radix;
+    rem /= radix;
+  }
+
+  sc.vdd_scale = axes_.vdd_scale[sc.coord[static_cast<std::size_t>(AxisId::kVddScale)]];
+  sc.pattern_seed =
+      axes_.pattern_seed[sc.coord[static_cast<std::size_t>(AxisId::kPatternSeed)]];
+  sc.line_length =
+      axes_.line_length[sc.coord[static_cast<std::size_t>(AxisId::kLineLength)]];
+  sc.load_c = axes_.load_c[sc.coord[static_cast<std::size_t>(AxisId::kLoadC)]];
+  sc.detector = axes_.detector[sc.coord[static_cast<std::size_t>(AxisId::kDetector)]];
+  sc.rbw = axes_.rbw[sc.coord[static_cast<std::size_t>(AxisId::kRbw)]];
+  sc.bits = prbs_bits(sc.pattern_seed, axes_.pattern_bits);
+  return sc;
+}
+
+std::string Scenario::label() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "vdd=%.2f seed=%llu len=%.3fm load=%.1fpF det=%s rbw=%.0fMHz",
+                vdd_scale, static_cast<unsigned long long>(pattern_seed), line_length,
+                load_c * 1e12, detector_name(detector), rbw / 1e6);
+  return buf;
+}
+
+}  // namespace emc::sweep

@@ -1,0 +1,107 @@
+// Scenario enumeration for corner sweeps: the Cartesian product of the
+// design/measurement axes an EMC engineer varies around one estimated port
+// macromodel — supply corner, stimulus bit pattern, interconnect length,
+// far-end load, and the receiver's detector / resolution bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emc::sweep {
+
+/// EMI-receiver detector whose trace is scored against the limit mask.
+enum class Detector { kPeak, kQuasiPeak, kAverage };
+
+const char* detector_name(Detector d);
+
+/// Deterministic pseudo-random bit pattern ("0"/"1" string) of `n_bits`
+/// bits derived from `seed` alone — a pure function with no global RNG
+/// state, so a corner's stimulus depends only on its grid coordinates and
+/// sweep results are bit-identical for any worker count or scheduling
+/// order. Distinct seeds give distinct (LCG-decorrelated) patterns.
+std::string prbs_bits(std::uint64_t seed, std::size_t n_bits);
+
+/// The swept axes. Every vector must be non-empty; singleton axes (the
+/// defaults) contribute no corners. `pattern_bits` is the stimulus length
+/// per pattern period shared by all corners, so every corner produces an
+/// equally long record (which is what lets per-worker FFT plans and MNA
+/// workspaces be reused without reallocation).
+struct CornerAxes {
+  std::vector<double> vdd_scale{1.0};          ///< supply corner multiplier
+  std::vector<std::uint64_t> pattern_seed{1};  ///< PRBS seed per corner
+  std::vector<double> line_length{0.1};        ///< interconnect length [m]
+  std::vector<double> load_c{1e-12};           ///< far-end load [F]
+  std::vector<Detector> detector{Detector::kQuasiPeak};
+  std::vector<double> rbw{20e6};               ///< receiver RBW [Hz]
+  std::size_t pattern_bits = 15;               ///< stimulus bits per period
+};
+
+/// Axis identifiers, in the fixed mixed-radix order of the grid (first is
+/// the slowest-varying digit of the corner index, last the fastest). The
+/// order is chosen so the axes that only post-process an already-computed
+/// transient record (receiver RBW, supply scale, detector choice) vary
+/// fastest: corners sharing the expensive transient are then contiguous
+/// in index order, which is what makes chunked scheduling plus the
+/// per-worker record memo effective (see SweepRunner).
+enum class AxisId : std::size_t {
+  kPatternSeed = 0,
+  kLineLength,
+  kLoadC,
+  kRbw,
+  kVddScale,
+  kDetector,
+};
+inline constexpr std::size_t kNumAxes = 6;
+
+const char* axis_name(AxisId a);
+
+/// One concrete corner: the decoded axis coordinates plus the resolved
+/// axis values and the deterministic stimulus pattern.
+struct Scenario {
+  std::size_t index = 0;            ///< position in grid order
+  std::size_t coord[kNumAxes] = {}; ///< per-axis value index
+
+  double vdd_scale = 1.0;
+  std::uint64_t pattern_seed = 1;
+  double line_length = 0.1;
+  double load_c = 1e-12;
+  Detector detector = Detector::kQuasiPeak;
+  double rbw = 20e6;
+  std::string bits;  ///< prbs_bits(pattern_seed, pattern_bits)
+
+  /// Compact human-readable corner tag, e.g.
+  /// "vdd=0.95 seed=7 len=0.050m load=1.0pF det=qp rbw=20MHz".
+  std::string label() const;
+};
+
+/// Enumerates CornerAxes into Scenarios. Corner `index` decodes as a
+/// mixed-radix number over the axes in AxisId order: pattern_seed is the
+/// slowest-varying axis, detector the fastest.
+class CornerGrid {
+ public:
+  /// Throws std::invalid_argument when an axis is empty or pattern_bits
+  /// is zero.
+  explicit CornerGrid(CornerAxes axes);
+
+  const CornerAxes& axes() const { return axes_; }
+
+  /// Total number of corners (product of the axis sizes).
+  std::size_t size() const { return size_; }
+
+  std::size_t axis_size(AxisId a) const;
+
+  /// Human-readable value of axis `a` at coordinate `k` (same formatting
+  /// as Scenario::label), for per-axis aggregation tables.
+  std::string axis_value_label(AxisId a, std::size_t k) const;
+
+  /// Decode corner `index`; throws std::out_of_range past size().
+  Scenario at(std::size_t index) const;
+
+ private:
+  CornerAxes axes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace emc::sweep

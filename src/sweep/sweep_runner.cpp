@@ -1,0 +1,170 @@
+#include "sweep/sweep_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/netlist.hpp"
+#include "core/driver_device.hpp"
+
+namespace emc::sweep {
+
+SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> results,
+                       const MarginHistogram& histogram_spec) {
+  if (results.size() != grid.size())
+    throw std::invalid_argument("summarize: results/grid size mismatch");
+  if (histogram_spec.n_bins == 0 || !(histogram_spec.hi_db > histogram_spec.lo_db))
+    throw std::invalid_argument("summarize: bad histogram spec");
+
+  SweepSummary s;
+  s.corners = results.size();
+  s.histogram = histogram_spec;
+  s.histogram.counts.assign(histogram_spec.n_bins, 0);
+  // "Nothing scored" sentinels; overwritten by the first covered corner.
+  s.worst_margin_db = std::numeric_limits<double>::infinity();
+  s.worst_corner = SIZE_MAX;
+
+  s.axis_worst.resize(kNumAxes);
+  for (std::size_t a = 0; a < kNumAxes; ++a)
+    s.axis_worst[a].assign(grid.axis_size(static_cast<AxisId>(a)),
+                           std::numeric_limits<double>::infinity());
+
+  const double bin_width =
+      (histogram_spec.hi_db - histogram_spec.lo_db) /
+      static_cast<double>(histogram_spec.n_bins);
+
+  // Sequential, grid order: independent of how corners were scheduled.
+  for (const CornerResult& r : results) {
+    const auto& rep = r.report;
+    if (rep.points.empty()) {
+      ++s.uncovered;
+      continue;
+    }
+    (rep.pass ? s.passed : s.failed) += 1;
+
+    const double m = rep.worst_margin_db;
+    if (m < s.worst_margin_db) {
+      s.worst_margin_db = m;
+      s.worst_corner = r.scenario.index;
+      s.worst_label = r.scenario.label();
+    }
+    for (std::size_t a = 0; a < kNumAxes; ++a) {
+      double& w = s.axis_worst[a][r.scenario.coord[a]];
+      w = std::min(w, m);
+    }
+
+    const double clamped =
+        std::clamp(m, histogram_spec.lo_db,
+                   std::nextafter(histogram_spec.hi_db, histogram_spec.lo_db));
+    const auto bin = static_cast<std::size_t>((clamped - histogram_spec.lo_db) / bin_width);
+    ++s.histogram.counts[std::min(bin, histogram_spec.n_bins - 1)];
+  }
+  return s;
+}
+
+SweepRunner::SweepRunner(std::size_t jobs)
+    : pool_(jobs), workspaces_(pool_.workers()) {}
+
+SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
+                              const MarginHistogram& histogram_spec, std::size_t chunk) {
+  SweepOutcome out;
+  out.results.resize(grid.size());
+
+  pool_.parallel_for(
+      grid.size(),
+      [&](std::size_t index, std::size_t worker) {
+        const auto t0 = std::chrono::steady_clock::now();
+        CornerResult& slot = out.results[index];
+        slot.scenario = grid.at(index);
+        slot.report = fn(slot.scenario, workspaces_[worker]);
+        slot.wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      },
+      chunk);
+
+  out.summary = summarize(grid, out.results, histogram_spec);
+  return out;
+}
+
+CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
+  if (!cfg.model) throw std::invalid_argument("make_emission_corner_fn: null model");
+  if (cfg.periods < 2)
+    throw std::invalid_argument(
+        "make_emission_corner_fn: need >= 2 periods (the first is discarded)");
+  if (cfg.line.l.rows() != 2 || cfg.line.c.rows() != 2)
+    throw std::invalid_argument("make_emission_corner_fn: line must have 2 conductors");
+
+  return [cfg](const Scenario& sc, Workspace& ws) -> spec::ComplianceReport {
+    // The transient depends only on (pattern, line length, load); the
+    // supply/detector/RBW axes post-process its record. Memoize the
+    // steady-state record per worker so a chunk of post-processing
+    // corners pays for one transient (a hit is bit-identical to
+    // recomputing — the record is a pure function of the key).
+    char key[96];
+    std::snprintf(key, sizeof key, "|%.17g|%.17g", sc.line_length, sc.load_c);
+    std::string memo_key = sc.bits + key;
+
+    if (ws.memo_key != memo_key) {
+      // Per-corner circuit: everything mutable lives here; the macromodel
+      // is shared const across workers.
+      ckt::Circuit c;
+      const int a1 = c.node();
+      const int a2 = c.node();
+      const int b1 = c.node();
+      const int b2 = c.node();
+
+      ckt::CoupledLineParams line = cfg.line;
+      line.length = sc.line_length;
+      add_coupled_lossy_line(c, {a1, a2}, {b1, b2}, line, cfg.dt, cfg.sections);
+      c.add<ckt::Capacitor>(b1, c.ground(), sc.load_c);
+      c.add<ckt::Capacitor>(b2, c.ground(), sc.load_c);
+
+      std::string active_bits;
+      for (int p = 0; p < cfg.periods; ++p) active_bits += sc.bits;
+      const std::string quiet_bits(active_bits.size(), '0');
+      c.add<core::DriverDevice>(a1, *cfg.model, active_bits, cfg.bit_time);
+      c.add<core::DriverDevice>(a2, *cfg.model, quiet_bits, cfg.bit_time);
+
+      const double period = cfg.bit_time * static_cast<double>(sc.bits.size());
+      ckt::TransientOptions opt;
+      opt.dt = cfg.dt;
+      opt.t_stop = period * static_cast<double>(cfg.periods);
+      const auto res = ckt::run_transient(c, opt, ws.newton);
+
+      // Steady-state record: drop the first pattern period (startup
+      // transient), keep whole periods so harmonics stay coherently
+      // sampled.
+      const auto per_period = static_cast<std::size_t>(std::lround(period / cfg.dt));
+      ws.memo_record = res.waveform(b1).slice(
+          per_period, per_period * static_cast<std::size_t>(cfg.periods - 1));
+      ws.memo_key = std::move(memo_key);
+    }
+
+    // First-order supply corner: emission levels scale ~linearly with VDD.
+    sig::Waveform record = ws.memo_record;
+    record *= sc.vdd_scale;
+
+    spec::ReceiverSettings rx = cfg.rx;
+    rx.rbw = sc.rbw;
+    const auto scan = ws.scanner.scan(record, rx);
+    const std::vector<double>* trace = nullptr;
+    switch (sc.detector) {
+      case Detector::kPeak: trace = &scan.peak_dbuv; break;
+      case Detector::kQuasiPeak: trace = &scan.quasi_peak_dbuv; break;
+      case Detector::kAverage: trace = &scan.average_dbuv; break;
+    }
+    return spec::check_compliance(scan.freq, *trace, cfg.mask, sc.label());
+  };
+}
+
+std::size_t emission_chunk_hint(const CornerGrid& grid) {
+  return grid.axis_size(AxisId::kRbw) * grid.axis_size(AxisId::kVddScale) *
+         grid.axis_size(AxisId::kDetector);
+}
+
+}  // namespace emc::sweep

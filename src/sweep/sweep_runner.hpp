@@ -1,0 +1,163 @@
+// Parallel corner-sweep engine: run the transient -> spectrum -> swept
+// EMI receiver -> compliance pipeline over every corner of a CornerGrid,
+// sharing one immutable estimated macromodel across pool workers, and
+// aggregate the per-corner verdicts into worst-margin statistics.
+//
+// Determinism contract: a corner's result is a pure function of its
+// Scenario (devices mutate only their own per-corner circuit; the shared
+// model is const — stamped through Device::stamp const). Results land in
+// a per-corner slot and are aggregated sequentially in grid order, so the
+// SweepSummary is bit-identical for any worker count or scheduling order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/engine.hpp"
+#include "circuit/tline.hpp"
+#include "core/driver_model.hpp"
+#include "emc/limits.hpp"
+#include "emc/receiver.hpp"
+#include "sweep/corner_grid.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace emc::sweep {
+
+/// Per-worker scratch reused across all corners a worker runs: the dense
+/// Newton/MNA workspace (equal-sized corner circuits never reallocate it)
+/// and the EMI scanner with its FFT plan (equal-length records plan once).
+///
+/// memo_key/memo_record are a single-entry memo for corner functions whose
+/// expensive stage depends on only part of the scenario (the emission
+/// pipeline's transient ignores the supply/detector/RBW axes). A memo hit
+/// returns a record bit-identical to recomputing it — the cached value is
+/// a pure function of the key — so memoization cannot perturb the sweep's
+/// determinism contract. Corners sharing a key are adjacent in grid order
+/// (see AxisId); claim them as one chunk to make the memo hit.
+struct Workspace {
+  ckt::NewtonWorkspace newton;
+  spec::EmiScanner scanner;
+  std::string memo_key;
+  sig::Waveform memo_record;
+};
+
+/// Verdict of one corner. `wall_s` is diagnostic only — it never enters
+/// the summary, which must be scheduling-independent.
+struct CornerResult {
+  Scenario scenario;
+  spec::ComplianceReport report;
+  double wall_s = 0.0;
+};
+
+/// Fixed-bin histogram of per-corner worst margins; corners outside the
+/// range are folded into the edge bins.
+struct MarginHistogram {
+  double lo_db = -40.0;
+  double hi_db = 40.0;
+  std::size_t n_bins = 16;
+  std::vector<std::size_t> counts;  ///< filled by summarize()
+
+  bool operator==(const MarginHistogram&) const = default;
+};
+
+/// Worst-margin statistics over a finished sweep.
+struct SweepSummary {
+  std::size_t corners = 0;
+  std::size_t passed = 0;
+  std::size_t failed = 0;
+  std::size_t uncovered = 0;  ///< corners whose mask covered no scan point
+
+  /// Min over covered corners; +infinity when every corner was uncovered
+  /// (so "nothing scored" can never read as a genuine 0.0 dB margin).
+  double worst_margin_db = 0.0;
+  std::size_t worst_corner = 0;  ///< grid index of that corner; SIZE_MAX if none
+  std::string worst_label;       ///< its Scenario::label(); empty if none
+
+  /// axis_worst[a][k]: worst margin among covered corners whose axis `a`
+  /// coordinate is `k` (+inf when no covered corner hits that value) —
+  /// the "which axis value drives the failures" table.
+  std::vector<std::vector<double>> axis_worst;
+
+  MarginHistogram histogram;
+
+  bool operator==(const SweepSummary&) const = default;
+};
+
+/// Per-corner evaluation: Scenario -> ComplianceReport using only
+/// worker-local scratch plus shared *immutable* inputs. May throw; the
+/// sweep rethrows the first failure after the loop drains.
+using CornerFn =
+    std::function<spec::ComplianceReport(const Scenario&, Workspace&)>;
+
+struct SweepOutcome {
+  std::vector<CornerResult> results;  ///< grid order
+  SweepSummary summary;
+};
+
+/// Deterministic sequential aggregation of per-corner reports (exposed
+/// separately so tests can feed hand-built reports).
+SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> results,
+                       const MarginHistogram& histogram_spec = {});
+
+/// Owns the thread pool and one Workspace per worker.
+class SweepRunner {
+ public:
+  /// `jobs` worker threads (including the caller); clamped to >= 1.
+  explicit SweepRunner(std::size_t jobs);
+
+  std::size_t jobs() const { return pool_.workers(); }
+
+  /// Evaluate every corner of `grid` through `fn` and aggregate. Corner
+  /// order in the result vector is grid order regardless of scheduling.
+  /// `chunk` consecutive corners are claimed per scheduling step (pass
+  /// emission_chunk_hint(grid) so corners sharing a transient stay on one
+  /// worker and its record memo hits); results are chunk-invariant.
+  SweepOutcome run(const CornerGrid& grid, const CornerFn& fn,
+                   const MarginHistogram& histogram_spec = {}, std::size_t chunk = 1);
+
+ private:
+  ThreadPool pool_;
+  std::vector<Workspace> workspaces_;
+};
+
+/// Configuration of the bus-emission corner pipeline: two PW-RBF drivers
+/// from one shared immutable macromodel on a lossy coupled line (the
+/// paper's Fig. 3 structure), aggressor repeating its PRBS pattern while
+/// the victim holds Low. Scenario axes override the line length, far-end
+/// load, stimulus pattern and receiver settings per corner.
+struct EmissionSweepConfig {
+  const core::PwRbfDriverModel* model = nullptr;  ///< shared, outlives the sweep
+  ckt::CoupledLineParams line;  ///< base 2-conductor line; length set per corner
+  int sections = 0;             ///< modal sections per corner (0 = auto)
+  double bit_time = 1e-9;       ///< stimulus bit period [s]
+  int periods = 3;              ///< simulated pattern repetitions; the first is
+                                ///< discarded as startup transient
+  spec::ReceiverSettings rx;    ///< base receiver; rbw/name set per corner
+  spec::LimitMask mask;         ///< limit the detector trace is scored against
+  double dt = 25e-12;           ///< engine step = model sampling time Ts
+};
+
+/// Build the corner function running the full pipeline:
+/// transient (far-end active-land voltage) -> steady-state slice ->
+/// supply-corner scaling -> swept EMI receiver -> compliance report of the
+/// scenario's detector trace against cfg.mask.
+///
+/// The supply axis is applied as a first-order approximation: port
+/// waveforms (and thus emission levels) scale ~linearly with VDD, so the
+/// steady record is multiplied by vdd_scale rather than re-estimating the
+/// macromodel per supply corner. The config is copied into the returned
+/// closure; only `model` is referenced and must outlive it.
+CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg);
+
+/// Scheduling chunk for the emission pipeline: corners differing only in
+/// the post-processing axes (RBW, supply scale, detector) share one
+/// transient record and are contiguous in grid order; claiming the whole
+/// run as a chunk makes the worker's record memo hit for all but the
+/// first of them. Returns axis_size(rbw) * axis_size(vdd) * axis_size(det).
+std::size_t emission_chunk_hint(const CornerGrid& grid);
+
+}  // namespace emc::sweep

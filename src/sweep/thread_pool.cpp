@@ -1,0 +1,89 @@
+#include "sweep/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace emc::sweep {
+
+ThreadPool::ThreadPool(std::size_t workers)
+    : n_workers_(std::max<std::size_t>(1, workers)) {
+  threads_.reserve(n_workers_ - 1);
+  for (std::size_t w = 1; w < n_workers_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t ThreadPool::default_workers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::drain(std::size_t worker) {
+  for (;;) {
+    const std::size_t c = cursor_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t lo = c * job_chunk_;
+    if (lo >= job_n_) return;
+    const std::size_t hi = std::min(job_n_, lo + job_chunk_);
+    for (std::size_t i = lo; i < hi; ++i) {
+      try {
+        (*job_)(i, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    start_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    lk.unlock();
+    drain(worker);
+    lk.lock();
+    if (--active_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t chunk) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    job_chunk_ = std::max<std::size_t>(1, chunk);
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = n_workers_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+
+  drain(0);  // the caller is worker 0
+
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return active_ == 0; });
+  job_ = nullptr;
+  job_n_ = 0;
+  lk.unlock();
+
+  std::lock_guard<std::mutex> elk(err_mu_);
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace emc::sweep

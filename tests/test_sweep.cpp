@@ -1,0 +1,314 @@
+// Tests of the emc::sweep subsystem: grid enumeration and deterministic
+// PRBS, thread-pool scheduling/exception behavior, worst-margin
+// aggregation, and the determinism contract (1-thread and N-thread sweeps
+// produce bit-identical summaries). The corner functions here are cheap
+// synthetic pipelines (small RC transients, hand-built reports) so the
+// suite never pays for macromodel estimation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "circuit/devices_linear.hpp"
+#include "circuit/engine.hpp"
+#include "circuit/netlist.hpp"
+#include "sweep/corner_grid.hpp"
+#include "sweep/sweep_runner.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace {
+
+using namespace emc;
+using namespace emc::sweep;
+
+// ------------------------------------------------------------- CornerGrid
+
+TEST(CornerGrid, EnumerationCountAndOrdering) {
+  CornerAxes axes;
+  axes.vdd_scale = {0.9, 1.0, 1.1};
+  axes.pattern_seed = {1, 2};
+  axes.line_length = {0.05, 0.1};
+  // detector/load/rbw stay singleton.
+  const CornerGrid grid(axes);
+  ASSERT_EQ(grid.size(), 3u * 2u * 2u);
+
+  // Mixed-radix order: pattern_seed slowest, then length, then the
+  // post-processing vdd_scale axis fastest.
+  const auto s0 = grid.at(0);
+  EXPECT_EQ(s0.vdd_scale, 0.9);
+  EXPECT_EQ(s0.pattern_seed, 1u);
+  EXPECT_EQ(s0.line_length, 0.05);
+
+  const auto s1 = grid.at(1);  // fastest non-singleton axis advances first
+  EXPECT_EQ(s1.vdd_scale, 1.0);
+  EXPECT_EQ(s1.pattern_seed, 1u);
+  EXPECT_EQ(s1.line_length, 0.05);
+
+  const auto s3 = grid.at(3);  // vdd wrapped, length advances
+  EXPECT_EQ(s3.vdd_scale, 0.9);
+  EXPECT_EQ(s3.pattern_seed, 1u);
+  EXPECT_EQ(s3.line_length, 0.1);
+
+  const auto last = grid.at(grid.size() - 1);
+  EXPECT_EQ(last.vdd_scale, 1.1);
+  EXPECT_EQ(last.pattern_seed, 2u);
+  EXPECT_EQ(last.line_length, 0.1);
+
+  // Every index decodes to a distinct coordinate tuple and round-trips.
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto sc = grid.at(i);
+    EXPECT_EQ(sc.index, i);
+    labels.insert(sc.label());
+  }
+  EXPECT_EQ(labels.size(), grid.size());
+
+  EXPECT_THROW(grid.at(grid.size()), std::out_of_range);
+  CornerAxes bad;
+  bad.rbw.clear();
+  EXPECT_THROW(CornerGrid{bad}, std::invalid_argument);
+}
+
+TEST(CornerGrid, PrbsIsDeterministicAndSeedSensitive) {
+  const auto a = prbs_bits(7, 31);
+  const auto b = prbs_bits(7, 31);
+  const auto c = prbs_bits(8, 31);
+  ASSERT_EQ(a.size(), 31u);
+  EXPECT_EQ(a, b);          // pure function of the seed
+  EXPECT_NE(a, c);          // neighboring seeds decorrelate
+  for (char ch : a) EXPECT_TRUE(ch == '0' || ch == '1');
+
+  // The scenario's pattern is derived from its own coordinates, never
+  // from shared RNG state: two grids enumerate identical patterns.
+  CornerAxes axes;
+  axes.pattern_seed = {3, 4, 5};
+  const CornerGrid g1(axes), g2(axes);
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_EQ(g1.at(i).bits, g2.at(i).bits);
+    EXPECT_EQ(g1.at(i).bits, prbs_bits(g1.at(i).pattern_seed, axes.pattern_bits));
+  }
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  constexpr std::size_t kN = 1000;
+  // Chunk sizes around and past the range length, including one that does
+  // not divide kN: every index must still run exactly once.
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64}, kN + 1}) {
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(
+        kN,
+        [&](std::size_t i, std::size_t worker) {
+          ASSERT_LT(worker, 4u);
+          hits[i].fetch_add(1);
+        },
+        chunk);
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "chunk " << chunk;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i, std::size_t) {
+                                   ++ran;
+                                   if (i == 13) throw std::runtime_error("corner 13");
+                                 }),
+               std::runtime_error);
+  // The loop drained: every index was still claimed and the pool is
+  // reusable afterwards.
+  EXPECT_EQ(ran.load(), 64);
+  std::atomic<int> again{0};
+  pool.parallel_for(32, [&](std::size_t, std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 32);
+}
+
+// ------------------------------------------------------------- summarize
+
+spec::ComplianceReport report_with_margin(double margin_db, bool covered = true) {
+  spec::ComplianceReport r;
+  r.mask_name = "m";
+  if (covered) {
+    r.points.push_back({1e6, 50.0 - margin_db, 50.0, margin_db});
+    r.worst_margin_db = margin_db;
+    r.worst_index = 0;
+    r.pass = margin_db >= 0.0;
+  }
+  return r;
+}
+
+TEST(SweepSummary, WorstMarginAggregationOnHandBuiltReports) {
+  CornerAxes axes;
+  axes.vdd_scale = {0.9, 1.1};
+  axes.pattern_seed = {1, 2};
+  const CornerGrid grid(axes);
+  ASSERT_EQ(grid.size(), 4u);
+
+  // Margins in grid order (seed slowest, vdd fastest):
+  // (seed=1,vdd=0.9)=+5, (1,1.1)=-3, (2,0.9)=+1, (2,1.1) uncovered.
+  const double margins[] = {5.0, -3.0, 1.0, 0.0};
+  std::vector<CornerResult> results(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    results[i].scenario = grid.at(i);
+    results[i].report = report_with_margin(margins[i], /*covered=*/i != 3);
+  }
+
+  MarginHistogram spec_hist;
+  spec_hist.lo_db = -40.0;
+  spec_hist.hi_db = 40.0;
+  spec_hist.n_bins = 16;  // 5 dB bins
+  const auto s = summarize(grid, results, spec_hist);
+
+  EXPECT_EQ(s.corners, 4u);
+  EXPECT_EQ(s.passed, 2u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.uncovered, 1u);
+  EXPECT_EQ(s.worst_margin_db, -3.0);
+  EXPECT_EQ(s.worst_corner, 1u);
+  EXPECT_EQ(s.worst_label, grid.at(1).label());
+
+  const auto vdd_axis = static_cast<std::size_t>(AxisId::kVddScale);
+  const auto seed_axis = static_cast<std::size_t>(AxisId::kPatternSeed);
+  EXPECT_EQ(s.axis_worst[vdd_axis][0], 1.0);    // vdd=0.9: min(+5, +1)
+  EXPECT_EQ(s.axis_worst[vdd_axis][1], -3.0);   // vdd=1.1: the failing corner
+  EXPECT_EQ(s.axis_worst[seed_axis][0], -3.0);  // seed=1: min(+5, -3)
+  EXPECT_EQ(s.axis_worst[seed_axis][1], 1.0);   // seed=2: only covered corner
+
+  // Histogram: -3 dB lands in bin floor((-3+40)/5)=7, +1 in bin 8,
+  // +5 in bin 9; the uncovered corner is not histogrammed.
+  std::size_t total = 0;
+  for (std::size_t c : s.histogram.counts) total += c;
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(s.histogram.counts[7], 1u);
+  EXPECT_EQ(s.histogram.counts[8], 1u);
+  EXPECT_EQ(s.histogram.counts[9], 1u);
+
+  const std::vector<CornerResult> short_results(3);
+  EXPECT_THROW(summarize(grid, short_results), std::invalid_argument);
+
+  // All corners uncovered: unambiguous sentinels, never a fake 0 dB.
+  std::vector<CornerResult> none(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    none[i].scenario = grid.at(i);
+    none[i].report = report_with_margin(0.0, /*covered=*/false);
+  }
+  const auto e = summarize(grid, none);
+  EXPECT_EQ(e.uncovered, 4u);
+  EXPECT_TRUE(std::isinf(e.worst_margin_db));
+  EXPECT_EQ(e.worst_corner, SIZE_MAX);
+  EXPECT_TRUE(e.worst_label.empty());
+}
+
+// --------------------------------------------------- SweepRunner contract
+
+/// Cheap but real corner pipeline: an RC divider driven by a bit stream
+/// whose R depends on the supply corner and C on the load axis, solved
+/// with the per-worker Newton workspace; the "report" scores the final
+/// capacitor voltage. Exercises run_transient's external-workspace path
+/// across many same-sized circuits per worker.
+spec::ComplianceReport rc_corner(const Scenario& sc, Workspace& ws) {
+  ckt::Circuit c;
+  const int in = c.node();
+  const int out = c.node();
+  c.add<ckt::VSource>(in, c.ground(), 1.0 * sc.vdd_scale);
+  c.add<ckt::Resistor>(in, out, 1e3 * (1.0 + sc.line_length));
+  c.add<ckt::Capacitor>(out, c.ground(), sc.load_c);
+
+  ckt::TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.t_stop = 200e-9;
+  const auto res = ckt::run_transient(c, opt, ws.newton);
+  const auto v = res.waveform(out);
+
+  spec::LimitMask mask{"v-final", {{1e5, 1.0}, {1e7, 1.0}}};
+  const double freq[] = {1e6};
+  const double level[] = {v[v.size() - 1]};
+  return spec::check_compliance(freq, level, mask, sc.label());
+}
+
+TEST(SweepRunner, OneThreadAndNThreadSweepsAreBitIdentical) {
+  CornerAxes axes;
+  axes.vdd_scale = {0.8, 0.9, 1.0, 1.1};
+  axes.line_length = {0.0, 0.5, 1.0};
+  axes.load_c = {50e-12, 100e-12};  // tau 50-200 ns vs the 200 ns record
+  const CornerGrid grid(axes);
+  ASSERT_EQ(grid.size(), 24u);
+
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  const auto a = serial.run(grid, rc_corner);
+  const auto b = parallel.run(grid, rc_corner);
+
+  // Bit-identical aggregate AND bit-identical per-corner margins.
+  EXPECT_TRUE(a.summary == b.summary);
+
+  // Chunked scheduling must not change anything either.
+  const auto c = parallel.run(grid, rc_corner, {}, /*chunk=*/4);
+  EXPECT_TRUE(a.summary == c.summary);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].scenario.index, i);
+    ASSERT_EQ(a.results[i].report.points.size(), b.results[i].report.points.size());
+    EXPECT_EQ(a.results[i].report.worst_margin_db, b.results[i].report.worst_margin_db)
+        << "corner " << i;
+  }
+  // Sanity: the RC corners actually differ from one another.
+  EXPECT_LT(a.summary.worst_margin_db, 0.3);
+  EXPECT_GT(a.summary.passed + a.summary.failed, 0u);
+}
+
+TEST(SweepRunner, CornerExceptionDoesNotDeadlockAndPoolSurvives) {
+  CornerAxes axes;
+  axes.pattern_seed = {1, 2, 3, 4, 5, 6, 7, 8};
+  const CornerGrid grid(axes);
+
+  SweepRunner runner(3);
+  const CornerFn faulty = [](const Scenario& sc, Workspace& ws) {
+    if (sc.index == 5) throw std::runtime_error("diverged corner");
+    return rc_corner(sc, ws);
+  };
+  EXPECT_THROW(runner.run(grid, faulty), std::runtime_error);
+
+  // Same runner, clean function: completes and aggregates normally.
+  const auto out = runner.run(grid, rc_corner);
+  EXPECT_EQ(out.summary.corners, grid.size());
+  EXPECT_EQ(out.summary.uncovered, 0u);
+}
+
+// ----------------------------------------------- engine workspace overload
+
+TEST(EngineWorkspace, ExternalWorkspaceMatchesInternalRun) {
+  auto build = [](double r) {
+    auto c = std::make_unique<ckt::Circuit>();
+    const int in = c->node();
+    const int out = c->node();
+    c->add<ckt::VSource>(in, c->ground(), 1.0);
+    c->add<ckt::Resistor>(in, out, r);
+    c->add<ckt::Capacitor>(out, c->ground(), 1e-9);
+    return c;
+  };
+  ckt::TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.t_stop = 100e-9;
+
+  ckt::NewtonWorkspace ws;
+  for (double r : {1e3, 2e3, 5e3}) {
+    auto c1 = build(r);
+    auto c2 = build(r);
+    const auto ref = ckt::run_transient(*c1, opt);
+    const auto got = ckt::run_transient(*c2, opt, ws);  // reused scratch
+    ASSERT_EQ(ref.steps(), got.steps());
+    for (std::size_t k = 0; k < ref.steps(); ++k)
+      EXPECT_EQ(ref.value(k, 2), got.value(k, 2)) << "r=" << r << " step " << k;
+  }
+}
+
+}  // namespace
