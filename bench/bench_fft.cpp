@@ -1,0 +1,238 @@
+// Spectral hot-path bench: (1) the real-input split/recombine FFT against
+// the complex forward (and a naive real DFT at small lengths), (2) the
+// swept EMI receiver's zoom-IFFT demodulation against the full-length
+// reference path, across record lengths. Wall clocks, speedups and the
+// zoom-vs-reference detector agreement land in BENCH_fft.json with the
+// shared bench schema (see json_out.hpp).
+//
+//   bench_fft [--smoke]
+//
+// The exit code gates on correctness only (forward_real matching the
+// complex bins, zoom detectors within 0.01 dB of the reference); speedups
+// are recorded, not gated, because they are hardware-dependent.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <numbers>
+#include <vector>
+
+#include "emc/fft.hpp"
+#include "emc/receiver.hpp"
+#include "json_out.hpp"
+#include "signal/sources.hpp"
+#include "signal/waveform.hpp"
+
+namespace {
+
+using namespace emc;
+using cplx = std::complex<double>;
+using bench::seconds_since;
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  sig::Lcg rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform() * 2.0 - 1.0;
+  return x;
+}
+
+/// Naive O(n^2) real-input DFT, the half-spectrum only.
+std::vector<cplx> naive_real_dft(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n / 2 + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    double re = 0.0, im = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ph = -2.0 * std::numbers::pi * static_cast<double>(j * k % n) /
+                        static_cast<double>(n);
+      re += x[j] * std::cos(ph);
+      im += x[j] * std::sin(ph);
+    }
+    out[k] = {re, im};
+  }
+  return out;
+}
+
+/// Repetition count targeting a roughly constant total work per length.
+std::size_t fft_reps(std::size_t n, bool smoke) {
+  const double work = static_cast<double>(n) * std::log2(static_cast<double>(n) + 1.0);
+  const double budget = smoke ? 4e6 : 6e7;
+  return std::max<std::size_t>(3, static_cast<std::size_t>(budget / work));
+}
+
+/// Busy wideband record: harmonics of a 100 MHz carrier, slow AM, LCG
+/// noise — spectral structure at every EMI-scan frequency.
+sig::Waveform scan_record(std::size_t n, double fs) {
+  sig::Lcg rng(123);
+  std::vector<double> y(n);
+  const double dt = 1.0 / fs;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    double v = 0.0;
+    for (int h = 1; h <= 12; ++h)
+      v += (1.0 / h) * std::sin(2.0 * std::numbers::pi * 100e6 * h * t + 0.4 * h);
+    v *= 1.0 + 0.3 * std::sin(2.0 * std::numbers::pi * 5e6 * t);
+    v += 0.02 * (rng.uniform() * 2.0 - 1.0);
+    y[k] = v;
+  }
+  return {0.0, dt, std::move(y)};
+}
+
+spec::ReceiverSettings scan_rx(std::size_t n_points, spec::ScanMethod method) {
+  spec::ReceiverSettings rx;
+  rx.name = "wideband scan";
+  rx.f_start = 50e6;
+  rx.f_stop = 5e9;
+  rx.n_points = n_points;
+  rx.rbw = 20e6;
+  rx.tau_charge = 1e-9;
+  rx.tau_discharge = 30e-9;
+  rx.method = method;
+  return rx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  std::printf("=== bench_fft: real-input FFT + zoom-IFFT receiver demodulation ===%s\n",
+              smoke ? "  [smoke mode]" : "");
+
+  auto doc = bench::make_bench_doc("bench_fft");
+  doc.set("smoke", bench::Json::boolean(smoke));
+  bool ok = true;
+
+  // ---------------------------------------------------- forward transforms
+  const std::vector<std::size_t> lengths =
+      smoke ? std::vector<std::size_t>{1024, 16384}
+            : std::vector<std::size_t>{1024, 4096, 16384, 131072, 3600};
+  auto fft_rows = bench::Json::array();
+  std::printf("\n%9s %6s %14s %14s %9s %12s\n", "n", "pow2", "forward [us]",
+              "fwd_real [us]", "speedup", "naive [us]");
+  for (std::size_t n : lengths) {
+    const auto x = random_real(n, 7 * n);
+    const std::size_t reps = fft_reps(n, smoke);
+    spec::FftPlan plan(n);
+
+    // Treat-real-as-complex pipeline: widen to complex, full transform.
+    std::vector<cplx> xc(n), buf(n);
+    for (std::size_t k = 0; k < n; ++k) xc[k] = {x[k], 0.0};
+    const auto t_fwd = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      std::copy(xc.begin(), xc.end(), buf.begin());
+      plan.forward(buf.data());
+    }
+    const double wall_fwd = seconds_since(t_fwd) / static_cast<double>(reps);
+
+    // Real-input split/recombine kernel.
+    std::vector<cplx> bins;
+    plan.forward_real(x, bins);  // warm (builds the half plan)
+    const auto t_real = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) plan.forward_real(x, bins);
+    const double wall_real = seconds_since(t_real) / static_cast<double>(reps);
+
+    // Correctness gate: half-spectrum must match the complex transform.
+    double worst = 0.0;
+    for (std::size_t k = 0; k < bins.size(); ++k) worst = std::max(worst, std::abs(bins[k] - buf[k]));
+    if (worst > 1e-9 * static_cast<double>(n)) {
+      std::printf("FAIL: forward_real deviates from forward by %g at n=%zu\n", worst, n);
+      ok = false;
+    }
+
+    double wall_naive = 0.0;
+    if (n <= 2048) {
+      const auto t_naive = std::chrono::steady_clock::now();
+      const auto ref = naive_real_dft(x);
+      wall_naive = seconds_since(t_naive);
+      double worst_naive = 0.0;
+      for (std::size_t k = 0; k < bins.size(); ++k)
+        worst_naive = std::max(worst_naive, std::abs(bins[k] - ref[k]));
+      if (worst_naive > 1e-8 * static_cast<double>(n)) {
+        std::printf("FAIL: forward_real deviates from naive DFT by %g at n=%zu\n",
+                    worst_naive, n);
+        ok = false;
+      }
+    }
+
+    const double speedup = wall_real > 0.0 ? wall_fwd / wall_real : 0.0;
+    const bool pow2 = (n & (n - 1)) == 0;
+    char naive_col[24];
+    if (wall_naive > 0.0)
+      std::snprintf(naive_col, sizeof naive_col, "%.1f", wall_naive * 1e6);
+    else
+      std::snprintf(naive_col, sizeof naive_col, "-");
+    std::printf("%9zu %6s %14.1f %14.1f %8.2fx %12s\n", n, pow2 ? "yes" : "no",
+                wall_fwd * 1e6, wall_real * 1e6, speedup, naive_col);
+
+    auto row = bench::Json::object();
+    row.set("n", bench::Json::integer(static_cast<long>(n)));
+    row.set("pow2", bench::Json::boolean(pow2));
+    row.set("wall_forward_s", bench::Json::number(wall_fwd));
+    row.set("wall_forward_real_s", bench::Json::number(wall_real));
+    row.set("speedup_real", bench::Json::number(speedup));
+    if (wall_naive > 0.0) row.set("wall_naive_s", bench::Json::number(wall_naive));
+    fft_rows.push(std::move(row));
+    doc.at("scenarios").push(bench::scenario_row("fft_n" + std::to_string(n),
+                                                 wall_fwd + wall_real));
+  }
+  doc.set("fft", std::move(fft_rows));
+
+  // ------------------------------------------------- swept receiver scans
+  const std::vector<std::size_t> record_lengths =
+      smoke ? std::vector<std::size_t>{16384} : std::vector<std::size_t>{16384, 131072};
+  const std::size_t n_points = smoke ? 20 : 100;
+  auto scan_rows = bench::Json::array();
+  std::printf("\n%9s %7s %16s %12s %9s %14s\n", "n", "points", "reference [ms]",
+              "zoom [ms]", "speedup", "max delta [dB]");
+  for (std::size_t n : record_lengths) {
+    const auto w = scan_record(n, 40e9);
+    spec::EmiScanner scanner;
+
+    const std::size_t ref_reps = smoke ? 1 : 2;
+    const std::size_t zoom_reps = smoke ? 2 : 5;
+
+    spec::EmiScan ref;
+    const auto t_ref = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < ref_reps; ++r)
+      ref = scanner.scan(w, scan_rx(n_points, spec::ScanMethod::kReference));
+    const double wall_ref = seconds_since(t_ref) / static_cast<double>(ref_reps);
+
+    spec::EmiScan zoom;
+    scanner.scan(w, scan_rx(n_points, spec::ScanMethod::kZoom));  // warm zoom plan
+    const auto t_zoom = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < zoom_reps; ++r)
+      zoom = scanner.scan(w, scan_rx(n_points, spec::ScanMethod::kZoom));
+    const double wall_zoom = seconds_since(t_zoom) / static_cast<double>(zoom_reps);
+
+    const double delta = spec::max_detector_delta_db(ref, zoom);
+    if (!(delta < 0.01) || ref.size() != zoom.size()) {
+      std::printf("FAIL: zoom deviates from reference by %.4f dB at n=%zu\n", delta, n);
+      ok = false;
+    }
+
+    const double speedup = wall_zoom > 0.0 ? wall_ref / wall_zoom : 0.0;
+    std::printf("%9zu %7zu %16.2f %12.2f %8.2fx %14.5f\n", n, n_points, wall_ref * 1e3,
+                wall_zoom * 1e3, speedup, delta);
+
+    auto row = bench::Json::object();
+    row.set("n", bench::Json::integer(static_cast<long>(n)));
+    row.set("points", bench::Json::integer(static_cast<long>(n_points)));
+    row.set("wall_reference_s", bench::Json::number(wall_ref));
+    row.set("wall_zoom_s", bench::Json::number(wall_zoom));
+    row.set("speedup", bench::Json::number(speedup));
+    row.set("max_delta_db", bench::Json::number(delta));
+    scan_rows.push(std::move(row));
+    doc.at("scenarios").push(
+        bench::scenario_row("scan_n" + std::to_string(n), wall_ref + wall_zoom));
+  }
+  doc.set("receiver_scan", std::move(scan_rows));
+  doc.set("accuracy_ok", bench::Json::boolean(ok));
+
+  if (doc.write_file("BENCH_fft.json")) std::printf("\nwrote BENCH_fft.json\n");
+  return ok ? 0 : 1;
+}

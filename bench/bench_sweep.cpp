@@ -40,6 +40,7 @@ bench::Json summary_json(const sweep::CornerGrid& grid, const sweep::SweepSummar
   o.set("passed", bench::Json::integer(static_cast<long>(s.passed)));
   o.set("failed", bench::Json::integer(static_cast<long>(s.failed)));
   o.set("uncovered", bench::Json::integer(static_cast<long>(s.uncovered)));
+  o.set("truncated", bench::Json::integer(static_cast<long>(s.truncated)));
   o.set("worst_margin_db", margin_json(s.worst_margin_db));
   if (s.passed + s.failed > 0) {
     o.set("worst_corner", bench::Json::integer(static_cast<long>(s.worst_corner)));

@@ -8,12 +8,6 @@ namespace emc::spec {
 
 namespace {
 
-std::size_t next_pow2(std::size_t n) {
-  std::size_t m = 1;
-  while (m < n) m <<= 1;
-  return m;
-}
-
 std::vector<std::size_t> make_bitrev(std::size_t n) {
   std::vector<std::size_t> rev(n);
   for (std::size_t k = 1; k < n; ++k) rev[k] = rev[k >> 1] >> 1 | (k & 1 ? n >> 1 : 0);
@@ -65,12 +59,8 @@ FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
   work_.resize(m_);
 }
 
-void FftPlan::radix2(std::complex<double>* x, const std::vector<std::size_t>& bitrev,
-                     const std::vector<std::complex<double>>& tw, bool inv) {
-  const std::size_t n = bitrev.size();
-  for (std::size_t k = 0; k < n; ++k)
-    if (k < bitrev[k]) std::swap(x[k], x[bitrev[k]]);
-
+void FftPlan::radix2_stages(std::complex<double>* x, std::size_t n,
+                            const std::vector<std::complex<double>>& tw, bool inv) {
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const std::size_t half = len >> 1;
     const std::size_t step = n / len;
@@ -86,11 +76,28 @@ void FftPlan::radix2(std::complex<double>* x, const std::vector<std::size_t>& bi
   }
 }
 
-void FftPlan::bluestein(std::complex<double>* x, bool inv) {
+void FftPlan::radix2(std::complex<double>* x, const std::vector<std::size_t>& bitrev,
+                     const std::vector<std::complex<double>>& tw, bool inv) {
+  const std::size_t n = bitrev.size();
+  for (std::size_t k = 0; k < n; ++k)
+    if (k < bitrev[k]) std::swap(x[k], x[bitrev[k]]);
+  radix2_stages(x, n, tw, inv);
+}
+
+void FftPlan::radix2_to(const std::complex<double>* in, std::complex<double>* out,
+                        const std::vector<std::size_t>& bitrev,
+                        const std::vector<std::complex<double>>& tw, bool inv) {
+  const std::size_t n = bitrev.size();
+  for (std::size_t k = 0; k < n; ++k) out[k] = in[bitrev[k]];
+  radix2_stages(out, n, tw, inv);
+}
+
+void FftPlan::bluestein_to(const std::complex<double>* in, std::complex<double>* out,
+                           bool inv) {
   // inverse(x) = conj(forward(conj(x))) / n; the conjugations are folded
   // into the copies below so both directions share the forward machinery.
   for (std::size_t k = 0; k < n_; ++k) {
-    const std::complex<double> xk = inv ? std::conj(x[k]) : x[k];
+    const std::complex<double> xk = inv ? std::conj(in[k]) : in[k];
     work_[k] = xk * chirp_[k];
   }
   for (std::size_t k = n_; k < m_; ++k) work_[k] = {0.0, 0.0};
@@ -102,7 +109,7 @@ void FftPlan::bluestein(std::complex<double>* x, bool inv) {
   const double m_scale = 1.0 / static_cast<double>(m_);
   for (std::size_t k = 0; k < n_; ++k) {
     const std::complex<double> Xk = work_[k] * m_scale * chirp_[k];
-    x[k] = inv ? std::conj(Xk) : Xk;
+    out[k] = inv ? std::conj(Xk) : Xk;
   }
 }
 
@@ -112,7 +119,7 @@ void FftPlan::transform(std::complex<double>* x, bool inv) {
     radix2(x, bitrev_, tw_, inv);
     return;
   }
-  bluestein(x, inv);
+  bluestein_to(x, x, inv);
 }
 
 void FftPlan::forward(std::complex<double>* x) { transform(x, /*inv=*/false); }
@@ -123,14 +130,75 @@ void FftPlan::inverse(std::complex<double>* x) {
   for (std::size_t k = 0; k < n_; ++k) x[k] *= s;
 }
 
+void FftPlan::inverse_to(const std::complex<double>* in, std::complex<double>* out) {
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  if (pow2_) {
+    radix2_to(in, out, bitrev_, tw_, /*inv=*/true);
+  } else {
+    bluestein_to(in, out, /*inv=*/true);
+  }
+  const double s = 1.0 / static_cast<double>(n_);
+  for (std::size_t k = 0; k < n_; ++k) out[k] *= s;
+}
+
+void FftPlan::ensure_real_kernel() {
+  if (half_) return;
+  const std::size_t h = n_ / 2;
+  half_ = std::make_unique<FftPlan>(h);
+  rtw_.resize(h / 2 + 1);
+  for (std::size_t k = 0; k < rtw_.size(); ++k) {
+    const double ph = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n_);
+    rtw_[k] = {std::cos(ph), std::sin(ph)};
+  }
+}
+
 void FftPlan::forward_real(std::span<const double> x,
                            std::vector<std::complex<double>>& out) {
   if (x.size() != n_) throw std::invalid_argument("FftPlan::forward_real: length mismatch");
-  real_buf_.resize(n_);
-  for (std::size_t k = 0; k < n_; ++k) real_buf_[k] = {x[k], 0.0};
-  forward(real_buf_.data());
-  out.resize(n_ / 2 + 1);
-  for (std::size_t k = 0; k < out.size(); ++k) out[k] = real_buf_[k];
+  if (n_ == 1) {
+    out.assign(1, {x[0], 0.0});
+    return;
+  }
+  if (n_ % 2 != 0) {
+    // Odd length: no even/odd split; run the full complex transform.
+    real_buf_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) real_buf_[k] = {x[k], 0.0};
+    forward(real_buf_.data());
+    out.resize(n_ / 2 + 1);
+    for (std::size_t k = 0; k < out.size(); ++k) out[k] = real_buf_[k];
+    return;
+  }
+
+  // Even/odd split: Z = FFT_h(x_even + i*x_odd), then
+  //   E[k] = (Z[k] + conj(Z[h-k])) / 2          (spectrum of even samples)
+  //   O[k] = (Z[k] - conj(Z[h-k])) / (2i)       (spectrum of odd samples)
+  //   X[k]   = E[k] + W^k O[k],  W = exp(-2*pi*i/n)
+  //   X[h-k] = conj(E[k] - W^k O[k])            (Hermitian pairing)
+  // with specialized butterflies for the purely real DC/Nyquist pair
+  // (k = 0) and the self-paired center bin (k = h/2, W^{h/2} = -i).
+  ensure_real_kernel();
+  const std::size_t h = n_ / 2;
+  real_buf_.resize(h);
+  for (std::size_t j = 0; j < h; ++j) real_buf_[j] = {x[2 * j], x[2 * j + 1]};
+  half_->forward(real_buf_.data());
+
+  out.resize(h + 1);
+  const std::complex<double>* Z = real_buf_.data();
+  out[0] = {Z[0].real() + Z[0].imag(), 0.0};
+  out[h] = {Z[0].real() - Z[0].imag(), 0.0};
+  for (std::size_t k = 1; 2 * k < h; ++k) {
+    const std::complex<double> za = Z[k];
+    const std::complex<double> zb = std::conj(Z[h - k]);
+    const std::complex<double> e = 0.5 * (za + zb);
+    const std::complex<double> o = std::complex<double>{0.0, -0.5} * (za - zb);
+    const std::complex<double> t = rtw_[k] * o;
+    out[k] = e + t;
+    out[h - k] = std::conj(e - t);
+  }
+  if (h % 2 == 0 && h >= 2) out[h / 2] = std::conj(Z[h / 2]);
 }
 
 }  // namespace emc::spec

@@ -7,10 +7,18 @@
 // heap. Power-of-two lengths use the iterative radix-2 Cooley-Tukey
 // kernel; every other length goes through Bluestein's chirp-z algorithm,
 // which reduces an arbitrary-length DFT to a power-of-two convolution.
+//
+// Real input is first-class: forward_real computes the length-n real DFT
+// through one length-n/2 complex FFT of the even/odd-packed samples plus a
+// split/recombine pass with specialized first (DC/Nyquist, purely real)
+// and last (center bin, pure conjugation) butterflies — about half the
+// work of the complex transform the naive treat-real-as-complex route
+// pays.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,6 +31,14 @@ class FftPlan {
 
   std::size_t size() const { return n_; }
 
+  /// Smallest power of two >= n (n >= 1): the length callers round up to
+  /// when they want a plan on the cheap radix-2 path.
+  static std::size_t next_pow2(std::size_t n) {
+    std::size_t m = 1;
+    while (m < n) m <<= 1;
+    return m;
+  }
+
   /// In-place DFT, X[k] = sum_j x[j] exp(-2*pi*i*j*k/n). `x` has length n.
   void forward(std::complex<double>* x);
 
@@ -30,20 +46,41 @@ class FftPlan {
   /// inverse(forward(x)) == x up to rounding.
   void inverse(std::complex<double>* x);
 
+  /// Out-of-place inverse DFT (same normalization as inverse()): reads the
+  /// length-n spectrum `in` — which is left untouched — and writes the
+  /// time-domain signal to `out`. Callers that maintain a mostly-zero
+  /// spectral buffer (the swept EMI receiver) can keep it intact across
+  /// transforms and re-clear only the bins they occupied, instead of
+  /// re-zeroing the whole buffer after every in-place transform.
+  /// `in` and `out` must not alias.
+  void inverse_to(const std::complex<double>* in, std::complex<double>* out);
+
   /// Real-input forward transform: fills `out` with the n/2+1 non-negative
-  /// frequency bins of the DFT of `x` (length n). `out` is resized on
-  /// first use; repeated calls on the same plan do not allocate.
+  /// frequency bins of the DFT of `x` (length n). For even n this runs the
+  /// half-length complex FFT + recombine kernel (~2x the complex forward);
+  /// odd lengths fall back to the full complex transform. `out` is resized
+  /// on first use; repeated calls on the same plan do not allocate.
   void forward_real(std::span<const double> x, std::vector<std::complex<double>>& out);
 
  private:
   static bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
   void transform(std::complex<double>* x, bool inv);
+  /// Butterfly stages of the radix-2 kernel over bit-reversed data.
+  static void radix2_stages(std::complex<double>* x, std::size_t n,
+                            const std::vector<std::complex<double>>& tw, bool inv);
   /// Radix-2 kernel over `len` = bitrev.size() points using twiddles
   /// tw[k] = exp(-2*pi*i*k/len), k < len/2.
   static void radix2(std::complex<double>* x, const std::vector<std::size_t>& bitrev,
                      const std::vector<std::complex<double>>& tw, bool inv);
-  void bluestein(std::complex<double>* x, bool inv);
+  /// Out-of-place radix-2: gathers in[bitrev[k]] into out (replacing the
+  /// in-place swap pass), then runs the butterfly stages on out.
+  static void radix2_to(const std::complex<double>* in, std::complex<double>* out,
+                        const std::vector<std::size_t>& bitrev,
+                        const std::vector<std::complex<double>>& tw, bool inv);
+  void bluestein_to(const std::complex<double>* in, std::complex<double>* out, bool inv);
+  /// Builds the half-length sub-plan + recombine twiddles (even n only).
+  void ensure_real_kernel();
 
   std::size_t n_ = 0;
   bool pow2_ = false;
@@ -61,7 +98,11 @@ class FftPlan {
   std::vector<std::complex<double>> chirp_fft_;
   std::vector<std::complex<double>> work_;
 
-  // Scratch for forward_real.
+  // Real-input kernel state, built on first forward_real call (even n):
+  // the length-n/2 sub-plan for the packed samples and the recombine
+  // twiddles rtw_[k] = exp(-2*pi*i*k/n), k <= n/4.
+  std::unique_ptr<FftPlan> half_;
+  std::vector<std::complex<double>> rtw_;
   std::vector<std::complex<double>> real_buf_;
 };
 

@@ -51,13 +51,15 @@ LimitMask LimitMask::cispr32_class_b_conducted_avg() {
 
 ComplianceReport check_compliance(std::span<const double> freq,
                                   std::span<const double> level_dbuv,
-                                  const LimitMask& mask, std::string what) {
+                                  const LimitMask& mask, std::string what,
+                                  std::size_t skipped_scan_points) {
   if (freq.size() != level_dbuv.size())
     throw std::invalid_argument("check_compliance: freq/level size mismatch");
 
   ComplianceReport rep;
   rep.mask_name = mask.name;
   rep.what = std::move(what);
+  rep.skipped_scan_points = skipped_scan_points;
   double worst = std::numeric_limits<double>::infinity();
   for (std::size_t k = 0; k < freq.size(); ++k) {
     if (!mask.covers(freq[k])) continue;
@@ -118,6 +120,10 @@ ComplianceReport merge_reports(std::span<const ComplianceReport> reports,
     if (k == wi) out.worst_index = out.points.size() + r.worst_index;
     out.points.insert(out.points.end(), r.points.begin(), r.points.end());
     out.pass = out.pass && r.pass;
+    // Max, not sum: the canonical merge folds several detector reports of
+    // the *same* scan (the CISPR 32 QP+AVG criterion), where summing
+    // would double-count the one scan's dropped points.
+    out.skipped_scan_points = std::max(out.skipped_scan_points, r.skipped_scan_points);
   }
   out.worst_margin_db = out.points.empty() ? 0.0 : worst_margin(reports);
   return out;
@@ -126,17 +132,27 @@ ComplianceReport merge_reports(std::span<const ComplianceReport> reports,
 std::string ComplianceReport::summary() const {
   char buf[256];
   const std::string label = what.empty() ? "spectrum" : what;
+  std::string text;
   if (points.empty()) {
     std::snprintf(buf, sizeof buf, "%s vs %s: no points in mask range", label.c_str(),
                   mask_name.c_str());
-    return buf;
+    text = buf;
+  } else {
+    const MarginPoint& w = points[worst_index];
+    std::snprintf(buf, sizeof buf,
+                  "%s vs %s: %s, worst margin %+.1f dB at %.4g MHz (%.1f dBuV, limit %.1f)",
+                  label.c_str(), mask_name.c_str(), pass ? "PASS" : "FAIL",
+                  worst_margin_db, w.f / 1e6, w.level_dbuv, w.limit_dbuv);
+    text = buf;
   }
-  const MarginPoint& w = points[worst_index];
-  std::snprintf(buf, sizeof buf,
-                "%s vs %s: %s, worst margin %+.1f dB at %.4g MHz (%.1f dBuV, limit %.1f)",
-                label.c_str(), mask_name.c_str(), pass ? "PASS" : "FAIL", worst_margin_db,
-                w.f / 1e6, w.level_dbuv, w.limit_dbuv);
-  return buf;
+  if (skipped_scan_points > 0) {
+    std::snprintf(buf, sizeof buf,
+                  " [TRUNCATED SCAN: %zu points above the record's Nyquist rate were "
+                  "never measured]",
+                  skipped_scan_points);
+    text += buf;
+  }
+  return text;
 }
 
 }  // namespace emc::spec

@@ -56,6 +56,14 @@ struct ComplianceReport {
   std::size_t worst_index = 0;       ///< into `points`
   bool pass = true;
 
+  /// Scan points the measurement dropped before scoring (EmiScan::
+  /// skipped_points: requested frequencies at/above the record's Nyquist
+  /// rate). A nonzero count means part of the mask range was never
+  /// measured, so `pass` is a verdict on a truncated scan — summary()
+  /// flags it, and merge_reports() carries the worst input's count
+  /// forward (detector reports of one scan share the same truncation).
+  std::size_t skipped_scan_points = 0;
+
   /// The scored point with the smallest margin, or nullptr when the mask
   /// covered nothing (callers print/aggregate the worst point constantly;
   /// `points[worst_index]` without the empty-guard is a recurring bug).
@@ -85,10 +93,13 @@ ComplianceReport merge_reports(std::span<const ComplianceReport> reports,
 
 /// Score (freq, level) pairs against a mask. Points the mask does not
 /// cover are skipped; an empty intersection yields pass = true with no
-/// points (the summary says so).
+/// points (the summary says so). Pass the producing scan's
+/// EmiScan::skipped_points as `skipped_scan_points` so a truncated
+/// measurement is surfaced in the report instead of silently passing.
 ComplianceReport check_compliance(std::span<const double> freq,
                                   std::span<const double> level_dbuv,
-                                  const LimitMask& mask, std::string what = "");
+                                  const LimitMask& mask, std::string what = "",
+                                  std::size_t skipped_scan_points = 0);
 
 /// Convenience overload for a uniform-grid dBuV spectrum.
 ComplianceReport check_compliance(const Spectrum& spectrum_dbuv, const LimitMask& mask,

@@ -41,6 +41,7 @@ SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> res
   // Sequential, grid order: independent of how corners were scheduled.
   for (const CornerResult& r : results) {
     const auto& rep = r.report;
+    if (rep.skipped_scan_points > 0) ++s.truncated;
     if (rep.points.empty()) {
       ++s.uncovered;
       continue;
@@ -158,7 +159,10 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
       case Detector::kQuasiPeak: trace = &scan.quasi_peak_dbuv; break;
       case Detector::kAverage: trace = &scan.average_dbuv; break;
     }
-    return spec::check_compliance(scan.freq, *trace, cfg.mask, sc.label());
+    // A scan truncated at the record's Nyquist rate must not silently
+    // pass the mask — carry the dropped-point count into the report.
+    return spec::check_compliance(scan.freq, *trace, cfg.mask, sc.label(),
+                                  scan.skipped_points);
   };
 }
 

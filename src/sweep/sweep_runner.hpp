@@ -70,6 +70,11 @@ struct SweepSummary {
   std::size_t passed = 0;
   std::size_t failed = 0;
   std::size_t uncovered = 0;  ///< corners whose mask covered no scan point
+  /// Corners whose report came from a truncated scan (skipped_scan_points
+  /// > 0): their pass/fail verdict covers only part of the requested
+  /// span, so a sweep with truncated == corners can "pass" while never
+  /// measuring above the record's Nyquist rate.
+  std::size_t truncated = 0;
 
   /// Min over covered corners; +infinity when every corner was uncovered
   /// (so "nothing scored" can never read as a genuine 0.0 dB margin).

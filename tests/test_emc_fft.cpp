@@ -105,6 +105,93 @@ TEST(EmcFft, InverseUndoesForwardPow2) {
     EXPECT_NEAR(std::abs(x[k] - x0[k]), 0.0, 1e-12);
 }
 
+TEST(EmcFft, ForwardRealMatchesNaiveRealDftAcrossLengths) {
+  // The split/recombine real kernel against a naive real DFT on even,
+  // odd and prime lengths (2 and 4 hit the specialized DC/Nyquist and
+  // center-bin butterflies with an empty recombine loop; 127 and 257 are
+  // primes on the odd fallback / Bluestein path).
+  for (std::size_t n : {2u, 4u, 6u, 8u, 12u, 16u, 18u, 30u, 32u, 64u, 100u, 127u, 128u,
+                        255u, 256u, 257u, 300u}) {
+    emc::sig::Lcg rng(500 + n);
+    std::vector<double> xr(n);
+    std::vector<cplx> xc(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      xr[k] = rng.uniform() * 2.0 - 1.0;
+      xc[k] = {xr[k], 0.0};
+    }
+    const auto ref = naive_dft(xc);
+    FftPlan plan(n);
+    std::vector<cplx> bins;
+    plan.forward_real(xr, bins);
+    ASSERT_EQ(bins.size(), n / 2 + 1) << "n=" << n;
+    for (std::size_t k = 0; k < bins.size(); ++k)
+      EXPECT_NEAR(std::abs(bins[k] - ref[k]), 0.0, 1e-10 * static_cast<double>(n))
+          << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(EmcFft, ParsevalOnRecombinedHalfSpectrum) {
+  // sum x^2 == (1/n) * sum |X_k|^2 with interior bins carrying their
+  // conjugate pair's energy — on the recombined half-spectrum directly.
+  for (std::size_t n : {256u, 300u, 255u, 1024u}) {
+    emc::sig::Lcg rng(9 * n);
+    std::vector<double> x(n);
+    double time_energy = 0.0;
+    for (auto& v : x) {
+      v = rng.uniform() * 2.0 - 1.0;
+      time_energy += v * v;
+    }
+    FftPlan plan(n);
+    std::vector<cplx> bins;
+    plan.forward_real(x, bins);
+    double freq_energy = 0.0;
+    for (std::size_t k = 0; k < bins.size(); ++k) {
+      const bool paired = k != 0 && !(n % 2 == 0 && k == n / 2);
+      freq_energy += std::norm(bins[k]) * (paired ? 2.0 : 1.0);
+    }
+    freq_energy /= static_cast<double>(n);
+    EXPECT_NEAR(freq_energy, time_energy, 1e-10 * time_energy) << "n=" << n;
+  }
+}
+
+TEST(EmcFft, RealPlanIsReusableAcrossCalls) {
+  FftPlan plan(128);
+  for (std::uint64_t seed : {11u, 12u}) {
+    emc::sig::Lcg rng(seed);
+    std::vector<double> xr(128);
+    std::vector<cplx> xc(128);
+    for (std::size_t k = 0; k < 128; ++k) {
+      xr[k] = rng.uniform() * 2.0 - 1.0;
+      xc[k] = {xr[k], 0.0};
+    }
+    const auto ref = naive_dft(xc);
+    std::vector<cplx> bins;
+    plan.forward_real(xr, bins);
+    for (std::size_t k = 0; k < bins.size(); ++k)
+      EXPECT_NEAR(std::abs(bins[k] - ref[k]), 0.0, 1e-10) << "seed=" << seed;
+  }
+}
+
+TEST(EmcFft, InverseToMatchesInPlaceInverseAndPreservesInput) {
+  // Out-of-place inverse on both the radix-2 and Bluestein paths: same
+  // result as the in-place inverse, and the (sparse, caller-maintained)
+  // input spectrum is left untouched.
+  for (std::size_t n : {512u, 300u, 1u}) {
+    FftPlan plan(n);
+    const auto spectrum = random_signal(n, 400 + n);
+    auto in_place = spectrum;
+    plan.inverse(in_place.data());
+
+    const auto spectrum_before = spectrum;
+    std::vector<cplx> out(n);
+    plan.inverse_to(spectrum.data(), out.data());
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(std::abs(out[k] - in_place[k]), 0.0, 1e-14) << "n=" << n << " k=" << k;
+      EXPECT_EQ(spectrum[k], spectrum_before[k]) << "input modified, n=" << n;
+    }
+  }
+}
+
 TEST(EmcFft, ForwardRealMatchesComplexBins) {
   const std::size_t n = 300;
   emc::sig::Lcg rng(5);

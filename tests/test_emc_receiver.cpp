@@ -1,0 +1,147 @@
+// Swept EMI receiver: zoom-IFFT vs reference demodulation agreement
+// across RBW corner cases (occupied band from ~1 bin to the whole
+// half-spectrum), scan-truncation accounting, and its surfacing through
+// compliance reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "emc/limits.hpp"
+#include "emc/receiver.hpp"
+#include "signal/sources.hpp"
+#include "signal/waveform.hpp"
+
+using namespace emc;
+
+namespace {
+
+/// Busy deterministic record: nine harmonics of a 1 MHz carrier with slow
+/// amplitude modulation plus LCG noise — enough spectral structure that
+/// every detector reads something nontrivial at every scan point.
+sig::Waveform busy_record(std::size_t n, double fs) {
+  sig::Lcg rng(77);
+  std::vector<double> y(n);
+  const double dt = 1.0 / fs;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    double v = 0.0;
+    for (int h = 1; h <= 9; ++h)
+      v += (1.0 / h) * std::sin(2.0 * std::numbers::pi * 1e6 * h * t + 0.3 * h);
+    v *= 1.0 + 0.4 * std::sin(2.0 * std::numbers::pi * 40e3 * t);
+    v += 0.01 * (rng.uniform() * 2.0 - 1.0);
+    y[k] = v;
+  }
+  return {0.0, dt, std::move(y)};
+}
+
+spec::ReceiverSettings busy_rx(double rbw, spec::ScanMethod method) {
+  spec::ReceiverSettings s;
+  s.name = "test";
+  s.f_start = 200e3;
+  s.f_stop = 10e6;
+  s.n_points = 25;
+  s.rbw = rbw;
+  s.tau_charge = 2e-6;
+  s.tau_discharge = 60e-6;
+  s.method = method;
+  return s;
+}
+
+/// Worst |zoom - reference| across all three detectors and all points.
+double max_delta_db(const spec::EmiScan& a, const spec::EmiScan& b) {
+  EXPECT_EQ(a.size(), b.size());
+  return spec::max_detector_delta_db(a, b);
+}
+
+}  // namespace
+
+TEST(EmiZoom, MatchesReferenceAcrossRbwCornerCases) {
+  // Acceptance criterion: the zoom-IFFT fast path agrees with the
+  // full-length reference demodulation to < 0.01 dB on every detector.
+  // fs = 64 MS/s, n = 4096 -> df = 15.625 kHz. The RBW list walks the
+  // occupied band from ~2 bins to wider than the whole half-spectrum.
+  const auto w = busy_record(4096, 64e6);
+  for (double rbw : {4.5e3, 40e3, 200e3, 1e6, 40e6}) {
+    spec::EmiScanner ref_scanner;
+    spec::EmiScanner zoom_scanner;
+    const auto ref = ref_scanner.scan(w, busy_rx(rbw, spec::ScanMethod::kReference));
+    const auto zoom = zoom_scanner.scan(w, busy_rx(rbw, spec::ScanMethod::kZoom));
+    EXPECT_LT(max_delta_db(ref, zoom), 0.01) << "rbw=" << rbw;
+  }
+}
+
+TEST(EmiZoom, AutoMethodMatchesReference) {
+  const auto w = busy_record(4096, 64e6);
+  const auto ref = spec::emi_scan(w, busy_rx(100e3, spec::ScanMethod::kReference));
+  const auto fast = spec::emi_scan(w, busy_rx(100e3, spec::ScanMethod::kAuto));
+  EXPECT_LT(max_delta_db(ref, fast), 0.01);
+}
+
+TEST(EmiZoom, MatchesReferenceOnNonPowerOfTwoRecord) {
+  // n = 3000 exercises the Bluestein reference inverse and the even-n
+  // real-input forward against the radix-2 zoom plan.
+  const auto w = busy_record(3000, 64e6);
+  const auto ref = spec::emi_scan(w, busy_rx(150e3, spec::ScanMethod::kReference));
+  const auto zoom = spec::emi_scan(w, busy_rx(150e3, spec::ScanMethod::kZoom));
+  EXPECT_LT(max_delta_db(ref, zoom), 0.01);
+}
+
+TEST(EmiZoom, OneScannerHandlesMixedMethodsAndLengths) {
+  // Plan/buffer reuse across method switches and record lengths must not
+  // leak state between calls.
+  spec::EmiScanner scanner;
+  const auto w1 = busy_record(4096, 64e6);
+  const auto w2 = busy_record(3000, 64e6);
+  const auto a = scanner.scan(w1, busy_rx(100e3, spec::ScanMethod::kZoom));
+  const auto b = scanner.scan(w2, busy_rx(150e3, spec::ScanMethod::kReference));
+  const auto c = scanner.scan(w1, busy_rx(100e3, spec::ScanMethod::kZoom));
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_DOUBLE_EQ(a.quasi_peak_dbuv[k], c.quasi_peak_dbuv[k]);
+  EXPECT_EQ(b.size(), 25u);
+}
+
+TEST(EmiScanTruncation, SkippedPointsAreCounted) {
+  const auto w = busy_record(4096, 64e6);  // Nyquist 32 MHz
+  auto rx = busy_rx(200e3, spec::ScanMethod::kAuto);
+  rx.f_stop = 100e6;  // well past Nyquist
+  rx.n_points = 20;
+  const auto scan = spec::emi_scan(w, rx);
+  EXPECT_GT(scan.skipped_points, 0u);
+  EXPECT_EQ(scan.size() + scan.skipped_points, 20u);
+  for (double f : scan.freq) EXPECT_LT(f, 32e6);
+
+  // A span fully below Nyquist drops nothing.
+  const auto full = spec::emi_scan(w, busy_rx(200e3, spec::ScanMethod::kAuto));
+  EXPECT_EQ(full.skipped_points, 0u);
+  EXPECT_EQ(full.size(), 25u);
+}
+
+TEST(EmiScanTruncation, ComplianceReportSurfacesTruncatedScans) {
+  const auto w = busy_record(4096, 64e6);
+  auto rx = busy_rx(200e3, spec::ScanMethod::kAuto);
+  rx.f_stop = 100e6;
+  const auto scan = spec::emi_scan(w, rx);
+  ASSERT_GT(scan.skipped_points, 0u);
+
+  const spec::LimitMask mask{"unit mask", {{200e3, 200.0}, {100e6, 200.0}}};
+  const auto rep = spec::check_compliance(scan.freq, scan.quasi_peak_dbuv, mask,
+                                          "truncated", scan.skipped_points);
+  EXPECT_EQ(rep.skipped_scan_points, scan.skipped_points);
+  EXPECT_NE(rep.summary().find("TRUNCATED SCAN"), std::string::npos);
+
+  // An untruncated report keeps the old summary shape.
+  const auto clean = spec::check_compliance(scan.freq, scan.quasi_peak_dbuv, mask, "ok");
+  EXPECT_EQ(clean.skipped_scan_points, 0u);
+  EXPECT_EQ(clean.summary().find("TRUNCATED SCAN"), std::string::npos);
+
+  // Merging the per-detector reports of one scan (the CISPR 32 QP+AVG
+  // criterion) must not double-count that scan's dropped points.
+  const spec::ComplianceReport both[] = {rep, rep};
+  const auto merged = spec::merge_reports(both, "merged");
+  EXPECT_EQ(merged.skipped_scan_points, scan.skipped_points);
+  EXPECT_NE(merged.summary().find("TRUNCATED SCAN"), std::string::npos);
+}

@@ -160,6 +160,9 @@ TEST(SweepSummary, WorstMarginAggregationOnHandBuiltReports) {
     results[i].scenario = grid.at(i);
     results[i].report = report_with_margin(margins[i], /*covered=*/i != 3);
   }
+  // Corner 2's scan was truncated at Nyquist: its verdict is partial and
+  // the summary must say so.
+  results[2].report.skipped_scan_points = 7;
 
   MarginHistogram spec_hist;
   spec_hist.lo_db = -40.0;
@@ -171,6 +174,7 @@ TEST(SweepSummary, WorstMarginAggregationOnHandBuiltReports) {
   EXPECT_EQ(s.passed, 2u);
   EXPECT_EQ(s.failed, 1u);
   EXPECT_EQ(s.uncovered, 1u);
+  EXPECT_EQ(s.truncated, 1u);
   EXPECT_EQ(s.worst_margin_db, -3.0);
   EXPECT_EQ(s.worst_corner, 1u);
   EXPECT_EQ(s.worst_label, grid.at(1).label());
