@@ -65,6 +65,11 @@ bench::Json summary_json(const sweep::CornerGrid& grid, const sweep::SweepSummar
   }
   o.set("per_axis_worst", std::move(axes));
 
+  o.set("peak_streamed_record_bytes",
+        bench::Json::integer(static_cast<long>(s.peak_streamed_record_bytes)));
+  o.set("peak_monolithic_record_bytes",
+        bench::Json::integer(static_cast<long>(s.peak_monolithic_record_bytes)));
+
   auto hist = bench::Json::object();
   hist.set("lo_db", bench::Json::number(s.histogram.lo_db));
   hist.set("hi_db", bench::Json::number(s.histogram.hi_db));
@@ -172,6 +177,16 @@ int main(int argc, char** argv) {
   std::printf("verdict: %zu pass / %zu fail, worst margin %+.1f dB at corner %zu (%s)\n",
               outn.summary.passed, outn.summary.failed, outn.summary.worst_margin_db,
               outn.summary.worst_corner, outn.summary.worst_label.c_str());
+  // The streamed corner pipeline: what a worker actually held per corner
+  // (chunk staging + steady-state record) vs. the monolithic full record
+  // the legacy path would have materialized.
+  std::printf("record memory/corner: streamed %.1f KiB vs monolithic %.1f KiB (%.1fx)\n",
+              static_cast<double>(outn.summary.peak_streamed_record_bytes) / 1024.0,
+              static_cast<double>(outn.summary.peak_monolithic_record_bytes) / 1024.0,
+              outn.summary.peak_streamed_record_bytes > 0
+                  ? static_cast<double>(outn.summary.peak_monolithic_record_bytes) /
+                        static_cast<double>(outn.summary.peak_streamed_record_bytes)
+                  : 0.0);
 
   // Worst corner per swept axis value — the table an EMC engineer reads
   // to find which knob drives the failures.

@@ -51,14 +51,27 @@ void build_ladder(emc::ckt::Circuit& c, int n_sections) {
   c.add<Resistor>(prev, 0, 50.0);
 }
 
+struct RecordCost {
+  double record_wall_s = 0.0;   ///< full flat-record run
+  double stream_wall_s = 0.0;   ///< streamed run, NullSink (no record)
+  std::size_t record_bytes = 0; ///< flat record footprint
+};
+
 void write_json(const std::vector<BenchRow>& rows, double speedup, double max_dv,
-                bool smoke) {
+                const RecordCost& rc, bool smoke) {
   auto doc = emc::bench::make_bench_doc("bench_timing");
   for (const auto& r : rows)
     doc.at("scenarios").push(emc::bench::scenario_row(r.name, r.wall_s, r.newton_iters));
   doc.set("smoke", emc::bench::Json::boolean(smoke));
   doc.set("linear_fastpath_speedup", emc::bench::Json::number(speedup));
   doc.set("linear_fastpath_max_dv", emc::bench::Json::number(max_dv));
+  // Record-materialization cost: the flat single-allocation record vs. the
+  // streamed path with a NullSink (production only). The gap is what
+  // storing the record adds — with the step-major flat buffer this is one
+  // allocation per run where the seed paid one vector per step.
+  doc.set("record_wall_s", emc::bench::Json::number(rc.record_wall_s));
+  doc.set("stream_null_wall_s", emc::bench::Json::number(rc.stream_wall_s));
+  doc.set("record_bytes", emc::bench::Json::integer(static_cast<long>(rc.record_bytes)));
   if (doc.write_file("BENCH_timing.json"))
     std::printf("wrote BENCH_timing.json (%zu scenarios)\n", rows.size());
 }
@@ -191,6 +204,41 @@ int main(int argc, char** argv) {
               res_ref.stats.total_newton_iters, res_ref.stats.steps);
   std::printf("speedup:   %.2fx   max |dv| = %.3e V (bound: 1e-9)\n", speedup, max_dv);
 
-  write_json(bench_rows, speedup, max_dv, smoke);
+  // ---- record materialization cost: flat full record vs. streamed NullSink
+  std::printf("\n=== Record cost: flat full record vs. streamed (no record) ===\n");
+  RecordCost rc;
+  {
+    ckt::Circuit rec_ckt, str_ckt;
+    build_ladder(rec_ckt, kSections);
+    build_ladder(str_ckt, kSections);
+    opt.cache_lu = true;
+
+    t0 = std::chrono::steady_clock::now();
+    const auto res = ckt::run_transient(rec_ckt, opt);
+    rc.record_wall_s = seconds_since(t0);
+    rc.record_bytes = res.data().size() * sizeof(double);
+    bench_rows.push_back({"linear_ladder_record", rc.record_wall_s,
+                          res.stats.total_newton_iters});
+
+    const int n_unknowns = str_ckt.finalize();
+    std::vector<int> probes(static_cast<std::size_t>(n_unknowns));
+    for (int i = 0; i < n_unknowns; ++i) probes[static_cast<std::size_t>(i)] = i + 1;
+    sig::NullSink null;
+    ckt::NewtonWorkspace ws;
+    t0 = std::chrono::steady_clock::now();
+    const auto stats = ckt::run_transient_streamed(str_ckt, opt, ws, probes, null);
+    rc.stream_wall_s = seconds_since(t0);
+    bench_rows.push_back(
+        {"linear_ladder_stream_null", rc.stream_wall_s, stats.total_newton_iters});
+
+    std::printf("flat record: %8.4f s  (%.1f KiB record)\n", rc.record_wall_s,
+                static_cast<double>(rc.record_bytes) / 1024.0);
+    std::printf("null sink:   %8.4f s  (record cost: %+.1f%%)\n", rc.stream_wall_s,
+                rc.stream_wall_s > 0.0
+                    ? 100.0 * (rc.record_wall_s - rc.stream_wall_s) / rc.stream_wall_s
+                    : 0.0);
+  }
+
+  write_json(bench_rows, speedup, max_dv, rc, smoke);
   return max_dv < 1e-9 ? 0 : 1;
 }

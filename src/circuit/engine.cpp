@@ -22,18 +22,21 @@ TransientResult::TransientResult(double t0, double dt, std::size_t n_unknowns)
     : t0_(t0), dt_(dt), n_(n_unknowns) {}
 
 sig::Waveform TransientResult::waveform(int id) const {
-  std::vector<double> y(data_.size());
+  std::vector<double> y(frames_);
   if (id != 0) {
     const auto idx = static_cast<std::size_t>(id) - 1;
     if (idx >= n_) throw std::out_of_range("TransientResult::waveform: bad unknown id");
-    for (std::size_t k = 0; k < data_.size(); ++k) y[k] = data_[k][idx];
+    for (std::size_t k = 0; k < frames_; ++k) y[k] = data_[k * n_ + idx];
   }
   return sig::Waveform(t0_, dt_, std::move(y));
 }
 
 double TransientResult::value(std::size_t step, int id) const {
   if (id == 0) return 0.0;
-  return data_.at(step).at(static_cast<std::size_t>(id) - 1);
+  if (step >= frames_) throw std::out_of_range("TransientResult::value: bad step");
+  const auto idx = static_cast<std::size_t>(id) - 1;
+  if (idx >= n_) throw std::out_of_range("TransientResult::value: bad unknown id");
+  return data_[step * n_ + idx];
 }
 
 namespace {
@@ -168,11 +171,35 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opt) {
 
 TransientResult run_transient(Circuit& ckt, const TransientOptions& opt,
                               NewtonWorkspace& ws) {
+  // Thin recording-sink wrapper over the streamed path: probe every
+  // unknown in id order, so the frame-major recording IS the step-major
+  // record layout, moved into the result without reshaping.
+  const int n_unknowns = ckt.finalize();
+  std::vector<int> probes(static_cast<std::size_t>(n_unknowns));
+  for (int i = 0; i < n_unknowns; ++i) probes[static_cast<std::size_t>(i)] = i + 1;
+
+  sig::RecordingSink rec;
+  TransientResult result(opt.t_start, opt.dt, static_cast<std::size_t>(n_unknowns));
+  result.stats = run_transient_streamed(ckt, opt, ws, probes, rec);
+  result.frames_ = rec.frames();
+  result.data_ = std::move(rec).take_data();
+  return result;
+}
+
+SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
+                                  NewtonWorkspace& ws, std::span<const int> probes,
+                                  sig::SampleSink& sink, std::size_t chunk_frames) {
   if (opt.t_stop <= opt.t_start)
     throw std::invalid_argument("run_transient: t_stop must exceed t_start");
   if (opt.dt <= 0.0) throw std::invalid_argument("run_transient: dt must be positive");
+  if (chunk_frames == 0)
+    throw std::invalid_argument("run_transient_streamed: chunk_frames must be >= 1");
 
   const int n_unknowns = ckt.finalize();
+  for (int id : probes)
+    if (id < 0 || id > n_unknowns)
+      throw std::invalid_argument("run_transient_streamed: probe id out of range");
+
   std::vector<double> x(static_cast<std::size_t>(n_unknowns), 0.0);
 
   for (const auto& dev : ckt.devices()) dev->reset();
@@ -193,10 +220,35 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opt,
 
   const auto n_steps =
       static_cast<std::size_t>(std::llround((opt.t_stop - opt.t_start) / opt.dt));
+  const std::size_t channels = probes.size();
 
-  TransientResult result(opt.t_start, opt.dt, static_cast<std::size_t>(n_unknowns));
-  result.data_.reserve(n_steps + 1);
-  result.data_.push_back(x);
+  sig::StreamInfo info;
+  info.t0 = opt.t_start;
+  info.dt = opt.dt;
+  info.channels = channels;
+  info.total_frames = n_steps + 1;
+  sink.begin(info);
+
+  ws.stream_buf.resize(chunk_frames * channels);
+  std::size_t buffered = 0;     ///< frames staged in stream_buf
+  std::size_t flushed = 0;      ///< frames already delivered to the sink
+
+  const auto stage_frame = [&] {
+    double* dst = ws.stream_buf.data() + buffered * channels;
+    for (std::size_t c = 0; c < channels; ++c) {
+      const int id = probes[c];
+      dst[c] = id == 0 ? 0.0 : x[static_cast<std::size_t>(id) - 1];
+    }
+    if (++buffered == chunk_frames) {
+      sig::SampleChunk chunk{flushed, buffered, channels, ws.stream_buf.data()};
+      sink.consume(chunk);
+      flushed += buffered;
+      buffered = 0;
+    }
+  };
+
+  SolveStats stats;
+  stage_frame();  // frame 0: the state at t_start
 
   std::vector<double> x_prev = x;
   for (std::size_t k = 1; k <= n_steps; ++k) {
@@ -209,7 +261,7 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opt,
 
     x = x_prev;  // warm start
     const bool ok = newton_solve(ckt, ws, linear, x, x_prev, t, opt.dt, false, 1.0, opt,
-                                 &result.stats.total_newton_iters);
+                                 &stats.total_newton_iters);
     if (!ok) {
       // Accept weakly converged steps (common right on a switching edge);
       // a genuinely diverged solve produces NaNs that we reject.
@@ -218,18 +270,24 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opt,
       if (!finite)
         throw std::runtime_error("run_transient: Newton diverged at t = " +
                                  std::to_string(t));
-      ++result.stats.weak_steps;
+      ++stats.weak_steps;
     }
 
     {
       SimState st{x, x_prev, t, opt.dt, false, 1.0};
       for (const auto& dev : ckt.devices()) dev->commit(st);
     }
-    result.data_.push_back(x);
-    x_prev = x;
-    ++result.stats.steps;
+    stage_frame();
+    std::swap(x_prev, x);
+    ++stats.steps;
   }
-  return result;
+
+  if (buffered > 0) {
+    sig::SampleChunk chunk{flushed, buffered, channels, ws.stream_buf.data()};
+    sink.consume(chunk);
+  }
+  sink.finish();
+  return stats;
 }
 
 }  // namespace emc::ckt

@@ -12,6 +12,7 @@
 
 #include "circuit/netlist.hpp"
 #include "linalg/decomp.hpp"
+#include "signal/sample_sink.hpp"
 #include "signal/waveform.hpp"
 
 namespace emc::ckt {
@@ -59,6 +60,12 @@ class NewtonWorkspace {
   std::vector<double> x_new;  ///< Newton candidate scratch
   linalg::LuFactor lu;        ///< refactorizable LU storage
 
+  /// Chunk staging for run_transient_streamed (frame-major, chunk_frames x
+  /// channels). Lives in the workspace so batch drivers streaming many
+  /// records (sweep corners) reuse one buffer instead of allocating per
+  /// run. Untouched by the dense-solve paths; resize() leaves it alone.
+  std::vector<double> stream_buf;
+
   // Cached-factorization key for the linear fast path: the Jacobian of a
   // purely linear circuit depends only on (dt, dc, gmin), never on t, x,
   // or the source-stepping scale.
@@ -74,7 +81,9 @@ struct SolveStats {
   long weak_steps = 0;  ///< steps accepted at loose tolerance (diagnostic)
 };
 
-/// Full solution record of a transient run.
+/// Full solution record of a transient run. Storage is one contiguous
+/// step-major buffer (step k, unknown id at data()[k * n + id - 1]) — a
+/// single allocation for the whole record instead of one vector per step.
 class TransientResult {
  public:
   TransientResult(double t0, double dt, std::size_t n_unknowns);
@@ -84,9 +93,13 @@ class TransientResult {
 
   /// Raw access for derived quantities.
   double value(std::size_t step, int id) const;
-  std::size_t steps() const { return data_.size(); }
+  /// Number of stored records: the initial state plus one per time step.
+  std::size_t steps() const { return frames_; }
   double t0() const { return t0_; }
   double dt() const { return dt_; }
+
+  /// The flat step-major sample buffer, steps() x n_unknowns.
+  const std::vector<double>& data() const { return data_; }
 
   SolveStats stats;
 
@@ -95,7 +108,8 @@ class TransientResult {
                                        NewtonWorkspace& ws);
   double t0_, dt_;
   std::size_t n_;
-  std::vector<std::vector<double>> data_;
+  std::size_t frames_ = 0;
+  std::vector<double> data_;  ///< frames_ * n_ samples, step-major
 };
 
 /// Solve the DC operating point (writes the solution into x, whose size
@@ -105,7 +119,9 @@ class TransientResult {
 void dc_operating_point(Circuit& ckt, std::vector<double>& x, const TransientOptions& opt);
 
 /// Run a transient analysis; the result holds every unknown at every step
-/// (the first record is the state at t_start).
+/// (the first record is the state at t_start). Implemented as a recording
+/// sink over run_transient_streamed, so the two paths can never drift:
+/// the record is bit-identical to what any other sink observes.
 TransientResult run_transient(Circuit& ckt, const TransientOptions& opt);
 
 /// Same analysis with caller-owned Newton scratch. The workspace is
@@ -115,5 +131,23 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opt);
 /// may have changed). Results are identical to the two-argument overload.
 TransientResult run_transient(Circuit& ckt, const TransientOptions& opt,
                               NewtonWorkspace& ws);
+
+/// Streaming transient analysis: instead of materializing the record, emit
+/// chunks of `chunk_frames` frames holding only the probed unknowns
+/// (flat, frame-major, in `probes` order) through `sink`. Peak memory is
+/// O(chunk_frames * probes.size()) on top of the dense solver scratch, for
+/// any record length — the entry point for PRBS patterns far beyond what a
+/// full record can hold.
+///
+/// `probes` are unknown ids (0 = ground streams constant 0.0); frame 0 is
+/// the state at t_start, followed by one frame per step. The sink sees
+/// begin() with the stream geometry (total_frames = step count + 1),
+/// gap-free consume() calls, then finish(); if the sink or the solver
+/// throws, the exception propagates and finish() is never called. Returns
+/// the solver statistics a TransientResult would have carried.
+SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
+                                  NewtonWorkspace& ws, std::span<const int> probes,
+                                  sig::SampleSink& sink,
+                                  std::size_t chunk_frames = 1024);
 
 }  // namespace emc::ckt

@@ -1,0 +1,168 @@
+#include "emc/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emc::spec {
+
+// ------------------------------------------------------------ SegmentBuffer
+
+SegmentBuffer::SegmentBuffer(std::size_t segment_len, double overlap) : seg_(segment_len) {
+  if (seg_ < 2) throw std::invalid_argument("SegmentBuffer: segment_len must be >= 2");
+  if (!(overlap >= 0.0 && overlap < 1.0))
+    throw std::invalid_argument("SegmentBuffer: overlap must be in [0, 1)");
+  hop_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(static_cast<double>(seg_) * (1.0 - overlap))));
+  buf_.assign(seg_, 0.0);
+}
+
+void SegmentBuffer::reset() {
+  fill_ = 0;
+  first_sample_ = 0;
+}
+
+// --------------------------------------------------------- WelchAccumulator
+
+WelchAccumulator::WelchAccumulator(double dt, std::size_t segment_len, Window win,
+                                   double overlap)
+    : fs_(1.0 / dt),
+      assembler_(segment_len, overlap),
+      wd_(make_window(win, segment_len)),
+      plan_(segment_len),
+      xw_(segment_len, 0.0),
+      acc_(segment_len / 2 + 1, 0.0) {
+  if (!(dt > 0.0)) throw std::invalid_argument("WelchAccumulator: dt must be positive");
+}
+
+void WelchAccumulator::push(std::span<const double> x) {
+  assembler_.push(x, [&](std::span<const double> seg) {
+    const std::size_t n = seg.size();
+    for (std::size_t k = 0; k < n; ++k) xw_[k] = seg[k] * wd_.w[k];
+    plan_.forward_real(xw_, bins_);
+    // Identical per-segment arithmetic (and segment order) to welch_psd, so
+    // the streamed PSD is bit-for-bit the monolithic one.
+    const double scale = 1.0 / (fs_ * static_cast<double>(n) * wd_.noise_gain);
+    for (std::size_t k = 0; k < bins_.size(); ++k) {
+      const bool paired = k != 0 && !(n % 2 == 0 && k == n / 2);
+      acc_[k] += std::norm(bins_[k]) * scale * (paired ? 2.0 : 1.0);
+    }
+    ++n_segments_;
+  });
+}
+
+Spectrum WelchAccumulator::psd() const {
+  if (n_segments_ == 0)
+    throw std::logic_error("WelchAccumulator::psd: no full segment accumulated");
+  Spectrum out;
+  out.df = fs_ / static_cast<double>(assembler_.segment_len());
+  out.value = acc_;
+  const double inv = 1.0 / static_cast<double>(n_segments_);
+  for (double& v : out.value) v *= inv;
+  return out;
+}
+
+void WelchAccumulator::reset() {
+  assembler_.reset();
+  std::fill(acc_.begin(), acc_.end(), 0.0);
+  n_segments_ = 0;
+}
+
+std::size_t WelchAccumulator::state_bytes() const {
+  return (assembler_.segment_len() + xw_.size() + acc_.size() + wd_.w.size()) *
+             sizeof(double) +
+         bins_.capacity() * sizeof(std::complex<double>);
+}
+
+// --------------------------------------------------- SegmentedEmiAccumulator
+
+SegmentedEmiAccumulator::SegmentedEmiAccumulator(double t0, double dt,
+                                                 const SegmentedScanOptions& opt)
+    : t0_(t0), dt_(dt), opt_(opt), assembler_(opt.segment_len, opt.overlap) {
+  if (!(dt > 0.0))
+    throw std::invalid_argument("SegmentedEmiAccumulator: dt must be positive");
+  if (opt.segment_len < 4)
+    throw std::invalid_argument("SegmentedEmiAccumulator: segment_len must be >= 4");
+}
+
+void SegmentedEmiAccumulator::push(std::span<const double> x) {
+  assembler_.push(x, [&](std::span<const double> seg) { measure(seg); });
+}
+
+void SegmentedEmiAccumulator::measure(std::span<const double> seg) {
+  const double t_seg =
+      t0_ + dt_ * static_cast<double>(assembler_.next_segment_start());
+  sig::Waveform w(t_seg, dt_, std::vector<double>(seg.begin(), seg.end()));
+  const EmiScan scan = scanner_.scan(w, opt_.rx);
+
+  if (n_segments_ == 0) {
+    freq_ = scan.freq;
+    peak_db_ = scan.peak_dbuv;
+    qp_db_ = scan.quasi_peak_dbuv;
+    avg_v_.resize(scan.size());
+    for (std::size_t k = 0; k < scan.size(); ++k)
+      avg_v_[k] = 1e-6 * std::pow(10.0, scan.average_dbuv[k] / 20.0);
+    skipped_points_ = scan.skipped_points;
+  } else {
+    // Equal-length segments at one dt share the scan grid by construction.
+    for (std::size_t k = 0; k < freq_.size(); ++k) {
+      peak_db_[k] = std::max(peak_db_[k], scan.peak_dbuv[k]);
+      qp_db_[k] = std::max(qp_db_[k], scan.quasi_peak_dbuv[k]);
+      avg_v_[k] += 1e-6 * std::pow(10.0, scan.average_dbuv[k] / 20.0);
+    }
+  }
+  ++n_segments_;
+}
+
+EmiScan SegmentedEmiAccumulator::result() const {
+  if (n_segments_ == 0)
+    throw std::logic_error("SegmentedEmiAccumulator::result: no segment completed");
+  EmiScan out;
+  out.receiver = opt_.rx.name;
+  out.freq = freq_;
+  out.peak_dbuv = peak_db_;
+  out.quasi_peak_dbuv = qp_db_;
+  out.average_dbuv.resize(avg_v_.size());
+  const double inv = 1.0 / static_cast<double>(n_segments_);
+  for (std::size_t k = 0; k < avg_v_.size(); ++k)
+    out.average_dbuv[k] = volts_to_dbuv(avg_v_[k] * inv);
+  out.skipped_points = skipped_points_;
+  return out;
+}
+
+std::size_t SegmentedEmiAccumulator::state_bytes() const {
+  return (assembler_.segment_len() + freq_.size() + peak_db_.size() + qp_db_.size() +
+          avg_v_.size()) *
+         sizeof(double);
+}
+
+// ------------------------------------------------------- StreamingEmiSink
+
+StreamingEmiSink::StreamingEmiSink(std::size_t channel, const SegmentedScanOptions& opt)
+    : channel_(channel), opt_(opt) {}
+
+void StreamingEmiSink::begin(const sig::StreamInfo& info) {
+  sig::SampleSink::begin(info);
+  if (channel_ >= info.channels)
+    throw std::invalid_argument("StreamingEmiSink: channel out of range");
+  acc_.clear();
+  acc_.emplace_back(info.t0, info.dt, opt_);
+}
+
+void StreamingEmiSink::consume(const sig::SampleChunk& chunk) {
+  buf_.resize(chunk.frames);
+  for (std::size_t f = 0; f < chunk.frames; ++f)
+    buf_[f] = chunk.data[f * chunk.channels + channel_];
+  acc_.front().push(buf_);
+}
+
+EmiScan StreamingEmiSink::scan() const { return accumulator().result(); }
+
+const SegmentedEmiAccumulator& StreamingEmiSink::accumulator() const {
+  if (acc_.empty())
+    throw std::logic_error("StreamingEmiSink: stream never began");
+  return acc_.front();
+}
+
+}  // namespace emc::spec

@@ -1,0 +1,110 @@
+#include "signal/sample_sink.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emc::sig {
+
+// ------------------------------------------------------------ RecordingSink
+
+void RecordingSink::begin(const StreamInfo& info) {
+  SampleSink::begin(info);
+  data_.clear();
+  if (info.total_frames > 0 && info.channels > 0) {
+    const std::size_t last = std::min(info.total_frames,
+                                      max_ == static_cast<std::size_t>(-1)
+                                          ? info.total_frames
+                                          : first_ + max_);
+    if (last > first_) data_.reserve((last - first_) * info.channels);
+  }
+}
+
+void RecordingSink::consume(const SampleChunk& chunk) {
+  // Intersect [chunk.first_frame, +frames) with the window [first_, first_+max_).
+  const std::size_t win_end =
+      max_ == static_cast<std::size_t>(-1) ? static_cast<std::size_t>(-1) : first_ + max_;
+  const std::size_t lo = std::max(chunk.first_frame, first_);
+  const std::size_t hi = std::min(chunk.first_frame + chunk.frames, win_end);
+  if (lo >= hi || chunk.channels == 0) return;
+  const double* src = chunk.data + (lo - chunk.first_frame) * chunk.channels;
+  data_.insert(data_.end(), src, src + (hi - lo) * chunk.channels);
+}
+
+Waveform RecordingSink::waveform(std::size_t channel) const {
+  const std::size_t nch = channels();
+  if (channel >= nch) throw std::out_of_range("RecordingSink::waveform: bad channel");
+  const std::size_t n = frames();
+  std::vector<double> y(n);
+  for (std::size_t f = 0; f < n; ++f) y[f] = data_[f * nch + channel];
+  const double t0 = info().t0 + info().dt * static_cast<double>(first_);
+  return Waveform(t0, info().dt, std::move(y));
+}
+
+// ----------------------------------------------------------- DecimatingSink
+
+DecimatingSink::DecimatingSink(std::size_t factor, SampleSink& inner)
+    : factor_(factor), inner_(inner) {
+  if (factor_ == 0) throw std::invalid_argument("DecimatingSink: factor must be >= 1");
+}
+
+void DecimatingSink::begin(const StreamInfo& info) {
+  SampleSink::begin(info);
+  StreamInfo out = info;
+  out.dt = info.dt * static_cast<double>(factor_);
+  out.total_frames =
+      info.total_frames == 0 ? 0 : (info.total_frames + factor_ - 1) / factor_;
+  buf_.assign(buf_capacity_ * info.channels, 0.0);
+  buf_frames_ = 0;
+  out_first_ = 0;
+  inner_.begin(out);
+}
+
+void DecimatingSink::flush() {
+  if (buf_frames_ == 0) return;
+  SampleChunk c;
+  c.first_frame = out_first_;
+  c.frames = buf_frames_;
+  c.channels = info().channels;
+  c.data = buf_.data();
+  inner_.consume(c);
+  out_first_ += buf_frames_;
+  buf_frames_ = 0;
+}
+
+void DecimatingSink::consume(const SampleChunk& chunk) {
+  const std::size_t nch = chunk.channels;
+  // First kept frame at or after chunk.first_frame.
+  std::size_t g = ((chunk.first_frame + factor_ - 1) / factor_) * factor_;
+  for (; g < chunk.first_frame + chunk.frames; g += factor_) {
+    const double* src = chunk.data + (g - chunk.first_frame) * nch;
+    std::copy(src, src + nch, buf_.data() + buf_frames_ * nch);
+    if (++buf_frames_ == buf_capacity_) flush();
+  }
+}
+
+void DecimatingSink::finish() {
+  flush();
+  inner_.finish();
+}
+
+// ----------------------------------------------------------- ChannelTapSink
+
+ChannelTapSink::ChannelTapSink(std::size_t channel, Consumer consumer)
+    : channel_(channel), consumer_(std::move(consumer)) {
+  if (!consumer_) throw std::invalid_argument("ChannelTapSink: null consumer");
+}
+
+void ChannelTapSink::begin(const StreamInfo& info) {
+  SampleSink::begin(info);
+  if (channel_ >= info.channels)
+    throw std::invalid_argument("ChannelTapSink: channel out of range");
+}
+
+void ChannelTapSink::consume(const SampleChunk& chunk) {
+  buf_.resize(chunk.frames);
+  for (std::size_t f = 0; f < chunk.frames; ++f)
+    buf_[f] = chunk.data[f * chunk.channels + channel_];
+  consumer_(buf_);
+}
+
+}  // namespace emc::sig

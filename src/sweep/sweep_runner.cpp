@@ -42,6 +42,11 @@ SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> res
   for (const CornerResult& r : results) {
     const auto& rep = r.report;
     if (rep.skipped_scan_points > 0) ++s.truncated;
+    // Memory footprints count for every corner that ran, covered or not.
+    s.peak_streamed_record_bytes =
+        std::max(s.peak_streamed_record_bytes, r.streamed_record_bytes);
+    s.peak_monolithic_record_bytes =
+        std::max(s.peak_monolithic_record_bytes, r.monolithic_record_bytes);
     if (rep.points.empty()) {
       ++s.uncovered;
       continue;
@@ -82,7 +87,14 @@ SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
         const auto t0 = std::chrono::steady_clock::now();
         CornerResult& slot = out.results[index];
         slot.scenario = grid.at(index);
-        slot.report = fn(slot.scenario, workspaces_[worker]);
+        Workspace& ws = workspaces_[worker];
+        slot.report = fn(slot.scenario, ws);
+        // Memory accounting rides the workspace (the corner function only
+        // returns a report): both values are pure functions of the memo
+        // key, so memo hits report the same bytes as the corner that ran
+        // the transient and the summary stays scheduling-independent.
+        slot.streamed_record_bytes = ws.memo_streamed_bytes;
+        slot.monolithic_record_bytes = ws.memo_monolithic_bytes;
         slot.wall_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       },
@@ -135,14 +147,32 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
       ckt::TransientOptions opt;
       opt.dt = cfg.dt;
       opt.t_stop = period * static_cast<double>(cfg.periods);
-      const auto res = ckt::run_transient(c, opt, ws.newton);
 
-      // Steady-state record: drop the first pattern period (startup
-      // transient), keep whole periods so harmonics stay coherently
-      // sampled.
+      // Streamed transient: probe only the measured land and record only
+      // the steady-state window (drop the first pattern period as startup
+      // transient, keep whole periods so harmonics stay coherently
+      // sampled). The engine never materializes the full all-unknowns
+      // record; the chunk staging buffer lives in ws.newton and is reused
+      // across every corner this worker runs.
       const auto per_period = static_cast<std::size_t>(std::lround(period / cfg.dt));
-      ws.memo_record = res.waveform(b1).slice(
-          per_period, per_period * static_cast<std::size_t>(cfg.periods - 1));
+      const int probes[] = {b1};
+      const std::size_t chunk_frames = std::clamp<std::size_t>(
+          cfg.stream_budget_bytes / (sizeof(double) * std::size(probes)), 64, 65536);
+      sig::RecordingSink rec(per_period,
+                             per_period * static_cast<std::size_t>(cfg.periods - 1));
+      ckt::run_transient_streamed(c, opt, ws.newton, probes, rec, chunk_frames);
+      // Single-channel recording: the flat buffer IS the steady record —
+      // move it out instead of copying through waveform().
+      ws.memo_record =
+          sig::Waveform(opt.t_start + opt.dt * static_cast<double>(per_period), opt.dt,
+                        std::move(rec).take_data());
+
+      const auto n_unknowns = static_cast<std::size_t>(c.finalize());
+      const auto n_frames =
+          static_cast<std::size_t>(std::llround(opt.t_stop / opt.dt)) + 1;
+      ws.memo_streamed_bytes =
+          (chunk_frames + ws.memo_record.size()) * sizeof(double);
+      ws.memo_monolithic_bytes = n_frames * n_unknowns * sizeof(double);
       ws.memo_key = std::move(memo_key);
     }
 

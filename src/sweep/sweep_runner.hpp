@@ -43,6 +43,15 @@ struct Workspace {
   spec::EmiScanner scanner;
   std::string memo_key;
   sig::Waveform memo_record;
+
+  /// Transient-record memory of the corner that produced memo_record,
+  /// filled by the corner function alongside the memo (pure functions of
+  /// the memo key, so memo hits stay deterministic): bytes the streamed
+  /// path actually held (chunk staging + steady-state record) and bytes a
+  /// monolithic full record of every unknown would have held. SweepRunner
+  /// copies them into each CornerResult after the corner function returns.
+  std::size_t memo_streamed_bytes = 0;
+  std::size_t memo_monolithic_bytes = 0;
 };
 
 /// Verdict of one corner. `wall_s` is diagnostic only — it never enters
@@ -51,6 +60,13 @@ struct CornerResult {
   Scenario scenario;
   spec::ComplianceReport report;
   double wall_s = 0.0;
+
+  /// Peak transient-record bytes of the streamed pipeline for this corner
+  /// (chunk staging + retained steady-state record) and the monolithic
+  /// full-record footprint it replaced. Deterministic per scenario; 0 when
+  /// the corner function does not report memory.
+  std::size_t streamed_record_bytes = 0;
+  std::size_t monolithic_record_bytes = 0;
 };
 
 /// Fixed-bin histogram of per-corner worst margins; corners outside the
@@ -86,6 +102,12 @@ struct SweepSummary {
   /// coordinate is `k` (+inf when no covered corner hits that value) —
   /// the "which axis value drives the failures" table.
   std::vector<std::vector<double>> axis_worst;
+
+  /// Max over corners of the per-corner record footprints: what the
+  /// streamed transient path held at peak vs. what a monolithic
+  /// full-record run would have held (0 when corners report no memory).
+  std::size_t peak_streamed_record_bytes = 0;
+  std::size_t peak_monolithic_record_bytes = 0;
 
   MarginHistogram histogram;
 
@@ -144,6 +166,13 @@ struct EmissionSweepConfig {
   spec::ReceiverSettings rx;    ///< base receiver; rbw/name set per corner
   spec::LimitMask mask;         ///< limit the detector trace is scored against
   double dt = 25e-12;           ///< engine step = model sampling time Ts
+
+  /// Per-worker streaming budget for the transient chunk staging buffer.
+  /// The corner transient runs through run_transient_streamed probing only
+  /// the measured land, with chunk_frames = budget / (8 * channels)
+  /// (clamped to [64, 65536]); the buffer lives in the worker's
+  /// NewtonWorkspace and is reused across every corner the worker runs.
+  std::size_t stream_budget_bytes = 64 * 1024;
 };
 
 /// Build the corner function running the full pipeline:

@@ -264,6 +264,28 @@ TEST(Csv, SpectrumWriterValidation) {
   EXPECT_THROW(write_spectrum_csv("/tmp/x.csv", {}, {}, {}), std::invalid_argument);
 }
 
+TEST(Csv, UnwritablePathThrows) {
+  // The "parent directory" is an existing regular file: neither writer can
+  // create it or open the leaf, and both must say so instead of silently
+  // producing nothing.
+  const std::filesystem::path blocker =
+      std::filesystem::temp_directory_path() / "emc_csv_unwritable";
+  { std::ofstream(blocker) << "x"; }
+  const std::string path = (blocker / "nested" / "out.csv").string();
+
+  Waveform a(0.0, 1.0, {1.0, 2.0});
+  EXPECT_THROW(write_csv(path, {"a"}, {a}), std::runtime_error);
+  EXPECT_THROW(write_spectrum_csv(path, {"s"}, {1e6}, {{60.0}}), std::runtime_error);
+  std::filesystem::remove(blocker);
+
+  // A write that starts but cannot complete (ENOSPC via /dev/full) must
+  // throw from the stream-state check rather than truncate.
+  if (std::filesystem::exists("/dev/full")) {
+    Waveform big(0.0, 1.0, std::vector<double>(4096, 1.5));
+    EXPECT_THROW(write_csv("/dev/full", {"v"}, {big}), std::runtime_error);
+  }
+}
+
 // ---- degenerate metric inputs: empty, constant, and single-sample records
 
 TEST(MetricsDegenerate, EmptyWaveforms) {

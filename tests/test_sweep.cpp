@@ -10,8 +10,10 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
 #include "circuit/devices_linear.hpp"
 #include "circuit/engine.hpp"
@@ -114,6 +116,54 @@ TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
   }
 }
 
+TEST(ThreadPool, ZeroItemsReturnsImmediatelyAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 0);
+  // Zero-length loops with any chunk hint are equally inert.
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++ran; }, 1000);
+  EXPECT_EQ(ran.load(), 0);
+  pool.parallel_for(5, [&](std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPool, MoreWorkersThanItems) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 3;
+  std::vector<std::atomic<int>> hits(kN);
+  std::set<std::size_t> workers_seen;
+  std::mutex mu;
+  pool.parallel_for(kN, [&](std::size_t i, std::size_t worker) {
+    ASSERT_LT(worker, 8u);
+    hits[i].fetch_add(1);
+    std::lock_guard<std::mutex> lk(mu);
+    workers_seen.insert(worker);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+  // At most one worker per item can have participated.
+  EXPECT_LE(workers_seen.size(), kN);
+}
+
+TEST(ThreadPool, ChunkHintLargerThanItemCount) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10;
+  std::vector<std::atomic<int>> hits(kN);
+  std::set<std::size_t> workers_seen;
+  std::mutex mu;
+  pool.parallel_for(
+      kN,
+      [&](std::size_t i, std::size_t worker) {
+        hits[i].fetch_add(1);
+        std::lock_guard<std::mutex> lk(mu);
+        workers_seen.insert(worker);
+      },
+      /*chunk=*/1000);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+  // One chunk swallows the whole range: exactly one worker ran it.
+  EXPECT_EQ(workers_seen.size(), 1u);
+}
+
 TEST(ThreadPool, ExceptionPropagatesWithoutDeadlock) {
   ThreadPool pool(4);
   std::atomic<int> ran{0};
@@ -211,6 +261,25 @@ TEST(SweepSummary, WorstMarginAggregationOnHandBuiltReports) {
   EXPECT_TRUE(e.worst_label.empty());
 }
 
+TEST(SweepSummary, RecordMemoryPeaksAggregateOverAllCorners) {
+  CornerAxes axes;
+  axes.pattern_seed = {1, 2, 3};
+  const CornerGrid grid(axes);
+
+  std::vector<CornerResult> results(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    results[i].scenario = grid.at(i);
+    // Corner 1 is uncovered but ran the biggest transient: its footprint
+    // must still win the peak.
+    results[i].report = report_with_margin(1.0, /*covered=*/i != 1);
+    results[i].streamed_record_bytes = 100 * (i + 1);
+    results[i].monolithic_record_bytes = i == 1 ? 999999 : 5000;
+  }
+  const auto s = summarize(grid, results);
+  EXPECT_EQ(s.peak_streamed_record_bytes, 300u);
+  EXPECT_EQ(s.peak_monolithic_record_bytes, 999999u);
+}
+
 // --------------------------------------------------- SweepRunner contract
 
 /// Cheap but real corner pipeline: an RC divider driven by a bit stream
@@ -267,6 +336,33 @@ TEST(SweepRunner, OneThreadAndNThreadSweepsAreBitIdentical) {
   // Sanity: the RC corners actually differ from one another.
   EXPECT_LT(a.summary.worst_margin_db, 0.3);
   EXPECT_GT(a.summary.passed + a.summary.failed, 0u);
+}
+
+TEST(SweepRunner, MemoryAccountingRidesWorkspaceAndIsSchedulingIndependent) {
+  CornerAxes axes;
+  axes.pattern_seed = {1, 2, 3, 4, 5, 6, 7, 8};
+  const CornerGrid grid(axes);
+
+  // Pure function of the scenario, as the streamed emission pipeline
+  // guarantees: every scheduling must report identical bytes.
+  const CornerFn fn = [](const Scenario& sc, Workspace& ws) {
+    ws.memo_streamed_bytes = 10 + sc.index;
+    ws.memo_monolithic_bytes = 1000 + 10 * sc.index;
+    return report_with_margin(1.0);
+  };
+
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  const auto a = serial.run(grid, fn);
+  const auto b = parallel.run(grid, fn, {}, /*chunk=*/3);
+  EXPECT_TRUE(a.summary == b.summary);
+  EXPECT_EQ(a.summary.peak_streamed_record_bytes, 17u);
+  EXPECT_EQ(a.summary.peak_monolithic_record_bytes, 1070u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(a.results[i].streamed_record_bytes, 10 + i);
+    EXPECT_EQ(b.results[i].streamed_record_bytes, 10 + i);
+    EXPECT_EQ(a.results[i].monolithic_record_bytes, 1000 + 10 * i);
+  }
 }
 
 TEST(SweepRunner, CornerExceptionDoesNotDeadlockAndPoolSurvives) {
