@@ -35,21 +35,20 @@ struct SimState {
 };
 
 /// Assembles the linearized MNA system; devices talk only to this.
+///
+/// Abstract on purpose: a device's stamp is target-agnostic. The engine
+/// routes it into a dense Jacobian, a sparse matrix lane, or a pure
+/// pattern-discovery pass through the implementations in
+/// circuit/stampers.hpp — the device never knows which.
 class Stamper {
  public:
-  Stamper(linalg::Matrix& g, std::span<double> rhs) : g_(g), rhs_(rhs) {}
+  virtual ~Stamper() = default;
 
   /// G[row][col] += val (ground rows/columns are dropped).
-  void g(int row_id, int col_id, double val) {
-    if (row_id == 0 || col_id == 0) return;
-    g_(static_cast<std::size_t>(row_id) - 1, static_cast<std::size_t>(col_id) - 1) += val;
-  }
+  virtual void g(int row_id, int col_id, double val) = 0;
 
   /// rhs[row] += val.
-  void rhs(int row_id, double val) {
-    if (row_id == 0) return;
-    rhs_[static_cast<std::size_t>(row_id) - 1] += val;
-  }
+  virtual void rhs(int row_id, double val) = 0;
 
   /// Two-terminal conductance between a and b.
   void conductance(int a, int b, double gval) {
@@ -71,10 +70,6 @@ class Stamper {
     conductance(a, b, g0);
     current_source(a, b, i0 - g0 * v0);
   }
-
- private:
-  linalg::Matrix& g_;
-  std::span<double> rhs_;
 };
 
 /// Base class of all circuit elements.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "circuit/newton.hpp"
 #include "linalg/decomp.hpp"
 
 namespace emc::ckt {
@@ -13,10 +14,21 @@ void NewtonWorkspace::resize(std::size_t n) {
   g = linalg::Matrix(n, n);
   rhs.assign(n, 0.0);
   x_new.assign(n, 0.0);
+  // A size change is a topology change for good: drop the sparse systems
+  // entirely (patterns, symbolic analyses, value storage).
+  sp_tr = SparseSystem{};
+  sp_dc = SparseSystem{};
   invalidate();
 }
 
-void NewtonWorkspace::invalidate() { lu_cached = false; }
+void NewtonWorkspace::invalidate() {
+  lu_cached = false;
+  for (SparseSystem* s : {&sp_tr, &sp_dc}) {
+    s->num_cached = false;
+    s->pattern_ready = false;
+    s->use_sparse = -1;
+  }
+}
 
 TransientResult::TransientResult(double t0, double dt, std::size_t n_unknowns)
     : t0_(t0), dt_(dt), n_(n_unknowns) {}
@@ -39,129 +51,9 @@ double TransientResult::value(std::size_t step, int id) const {
   return data_[step * n_ + idx];
 }
 
-namespace {
-
-/// True when no device's stamp depends on the candidate solution, i.e. the
-/// MNA system G x = rhs is solved exactly by a single factorization.
-bool circuit_is_linear(const Circuit& ckt) {
-  for (const auto& dev : ckt.devices())
-    if (dev->nonlinear()) return false;
-  return true;
-}
-
-/// One damped Newton solve of the (non)linear MNA system at a fixed
-/// (t, dt, dc, src_scale) configuration. Returns true on convergence;
-/// x holds the solution (or the last iterate on failure). All scratch
-/// lives in `ws`: steady-state calls perform no heap allocation.
-bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<double>& x,
-                  const std::vector<double>& x_prev, double t, double dt, bool dc,
-                  double src_scale, const TransientOptions& opt, long* iter_count) {
-  const std::size_t n = x.size();
-
-  const auto assemble = [&] {
-    ws.g.fill(0.0);
-    std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
-    Stamper st(ws.g, ws.rhs);
-    SimState state{x, x_prev, t, dt, dc, src_scale};
-    for (const auto& dev : ckt.devices()) dev->stamp(st, state);
-    for (std::size_t i = 0; i < n; ++i) ws.g(i, i) += opt.gmin;
-  };
-
-  if (linear && opt.cache_lu) {
-    // Linear fast path: the Jacobian depends only on (dt, dc, gmin) —
-    // never on t, x, or src_scale, which enter the right-hand side only —
-    // so factor once per configuration and reuse the factors for every
-    // step. The single solve is exact; no damping loop is needed.
-    assemble();
-    if (iter_count) ++(*iter_count);
-    if (!ws.lu_cached || ws.lu_dt != dt || ws.lu_dc != dc || ws.lu_gmin != opt.gmin) {
-      try {
-        ws.lu.factor(ws.g);
-      } catch (const std::runtime_error&) {
-        ws.lu_cached = false;
-        return false;  // singular system
-      }
-      ws.lu_cached = true;
-      ws.lu_dt = dt;
-      ws.lu_dc = dc;
-      ws.lu_gmin = opt.gmin;
-    }
-    std::copy(ws.rhs.begin(), ws.rhs.end(), ws.x_new.begin());
-    ws.lu.solve_in_place(ws.x_new);
-    std::copy(ws.x_new.begin(), ws.x_new.end(), x.begin());
-    return true;
-  }
-
-  for (int it = 0; it < opt.max_newton; ++it) {
-    if (iter_count) ++(*iter_count);
-    assemble();
-    try {
-      ws.lu.factor(ws.g);
-    } catch (const std::runtime_error&) {
-      ws.invalidate();
-      return false;  // singular system at this iterate
-    }
-    ws.invalidate();  // the generic path leaves no reusable factorization
-    std::copy(ws.rhs.begin(), ws.rhs.end(), ws.x_new.begin());
-    ws.lu.solve_in_place(ws.x_new);
-
-    double dx_max = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      dx_max = std::max(dx_max, std::abs(ws.x_new[i] - x[i]));
-
-    if (dx_max <= opt.tol) {
-      std::copy(ws.x_new.begin(), ws.x_new.end(), x.begin());
-      return true;
-    }
-    // Damping: clamp the update so nonlinear devices cannot be thrown far
-    // outside their linearization region.
-    const double scale = (dx_max > opt.dx_limit) ? opt.dx_limit / dx_max : 1.0;
-    for (std::size_t i = 0; i < n; ++i) x[i] += scale * (ws.x_new[i] - x[i]);
-  }
-  return false;
-}
-
-void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
-                             std::vector<double>& x, const TransientOptions& opt) {
-  const std::vector<double> zeros(x.size(), 0.0);
-
-  // Strategy 1: gmin continuation from a heavily damped system.
-  for (double gmin : {1e-2, 1e-4, 1e-6, 1e-9, opt.gmin}) {
-    TransientOptions o = opt;
-    o.gmin = std::max(gmin, opt.gmin);
-    o.max_newton = 200;
-    if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, /*dc=*/true, 1.0, o,
-                      nullptr)) {
-      // Restart the continuation with source stepping below.
-      break;
-    }
-    if (o.gmin == opt.gmin) return;
-  }
-
-  // Strategy 2: source stepping on top of gmin continuation. The failed
-  // ladder solve left devices linearized around a diverged iterate — start
-  // over from a clean slate: zero the solution AND reset device history.
-  std::fill(x.begin(), x.end(), 0.0);
-  for (const auto& dev : ckt.devices()) dev->reset();
-  for (double scale : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    TransientOptions o = opt;
-    o.max_newton = 300;
-    o.gmin = 1e-9;
-    if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, scale, o, nullptr))
-      throw std::runtime_error("dc_operating_point: no convergence at source scale " +
-                               std::to_string(scale));
-  }
-  TransientOptions o = opt;
-  o.max_newton = 300;
-  if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, 1.0, o, nullptr))
-    throw std::runtime_error("dc_operating_point: final polish failed");
-}
-
-}  // namespace
-
 void dc_operating_point(Circuit& ckt, std::vector<double>& x, const TransientOptions& opt) {
   NewtonWorkspace ws(x.size());
-  dc_operating_point_impl(ckt, ws, circuit_is_linear(ckt), x, opt);
+  detail::dc_operating_point_impl(ckt, ws, detail::circuit_is_linear(ckt), x, opt);
 }
 
 TransientResult run_transient(Circuit& ckt, const TransientOptions& opt) {
@@ -210,10 +102,10 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
     ws.resize(static_cast<std::size_t>(n_unknowns));
   else
     ws.invalidate();
-  const bool linear = circuit_is_linear(ckt);
+  const bool linear = detail::circuit_is_linear(ckt);
 
   if (opt.dc_start) {
-    dc_operating_point_impl(ckt, ws, linear, x, opt);
+    detail::dc_operating_point_impl(ckt, ws, linear, x, opt);
     SimState st{x, x, opt.t_start, 0.0, true, 1.0};
     for (const auto& dev : ckt.devices()) dev->post_dc(st);
   }
@@ -260,8 +152,8 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
     }
 
     x = x_prev;  // warm start
-    const bool ok = newton_solve(ckt, ws, linear, x, x_prev, t, opt.dt, false, 1.0, opt,
-                                 &stats.total_newton_iters);
+    const bool ok = detail::newton_solve(ckt, ws, linear, x, x_prev, t, opt.dt, false, 1.0,
+                                         opt, &stats.total_newton_iters);
     if (!ok) {
       // Accept weakly converged steps (common right on a switching edge);
       // a genuinely diverged solve produces NaNs that we reject.

@@ -12,10 +12,22 @@
 
 #include "circuit/netlist.hpp"
 #include "linalg/decomp.hpp"
+#include "linalg/sparse.hpp"
 #include "signal/sample_sink.hpp"
 #include "signal/waveform.hpp"
 
 namespace emc::ckt {
+
+/// Which linear-system backend the Newton solve uses.
+///
+/// kAuto picks per run and per mode (DC stamps a different topology than
+/// the transient): dense when the system is small (n <
+/// sparse_min_unknowns, skipping even the pattern pass — identical cost
+/// and results to the pre-sparse engine), otherwise a structure-discovery
+/// pass decides by pattern density. kDense / kSparse force a backend.
+/// The selection is a pure function of the circuit structure and the
+/// options, never of values, so sweeps stay deterministic.
+enum class SolverKind { kAuto, kDense, kSparse };
 
 struct TransientOptions {
   double dt = 25e-12;      ///< fixed step; defaults to the paper's Ts = 25 ps
@@ -31,8 +43,40 @@ struct TransientOptions {
   /// step. Each step still re-stamps the system (the right-hand side is
   /// time/history dependent) but replaces the O(n^3) LU with one O(n^2)
   /// back-substitution. Disable to force the generic re-factorizing
-  /// Newton path (reference behavior for regression benches).
+  /// Newton path (reference behavior for regression benches). Applies to
+  /// the sparse backend too (numeric refactor cached per configuration).
   bool cache_lu = true;
+
+  /// Linear-system backend; see SolverKind. kAuto keeps every circuit
+  /// below sparse_min_unknowns on the dense path bit-identically to the
+  /// pre-sparse engine.
+  SolverKind solver = SolverKind::kAuto;
+  /// kAuto: smallest unknown count worth a structure pass.
+  std::size_t sparse_min_unknowns = 64;
+  /// kAuto: densest pattern (nnz / n^2) still solved sparsely.
+  double sparse_max_density = 0.25;
+};
+
+/// Per-mode sparse solve state inside a NewtonWorkspace (the DC and
+/// transient stamps of reactive devices and lines differ structurally, so
+/// each mode keeps its own pattern). The pattern is rebuilt per run (it
+/// is cheap) but the SparseLu's symbolic analysis survives as long as the
+/// pattern hash keeps matching — which is how corners sharing a topology
+/// share one symbolic analysis.
+struct SparseSystem {
+  std::vector<linalg::SparseCoord> coords;  ///< raw stamped positions
+  linalg::SparsePattern pattern;
+  bool pattern_ready = false;
+  int use_sparse = -1;  ///< resolved backend for this run: -1 undecided
+  linalg::SparseMatrix a;
+  linalg::SparseLu lu;
+
+  // Cached numeric factorization key for the linear fast path (mirrors
+  // the dense lu_* key).
+  bool num_cached = false;
+  double key_dt = 0.0;
+  bool key_dc = false;
+  double key_gmin = 0.0;
 };
 
 /// Reusable scratch for the Newton/MNA solve. Hoists the dense system
@@ -48,11 +92,14 @@ class NewtonWorkspace {
   NewtonWorkspace() = default;
   explicit NewtonWorkspace(std::size_t n) { resize(n); }
 
-  /// Size the scratch for an n-unknown system and drop any cached factors.
+  /// Size the scratch for an n-unknown system and drop any cached factors
+  /// including the sparse symbolic analyses (the topology changed size).
   void resize(std::size_t n);
 
-  /// Forget the cached linear-circuit factorization (topology or
-  /// configuration changed).
+  /// Forget the cached linear-circuit factorizations (dense and sparse)
+  /// and the per-run sparse pattern/backend decisions (topology or
+  /// configuration may have changed). The sparse symbolic analyses are
+  /// kept — they revalidate themselves against the rebuilt pattern's hash.
   void invalidate();
 
   linalg::Matrix g;           ///< MNA Jacobian scratch
@@ -73,6 +120,10 @@ class NewtonWorkspace {
   double lu_dt = 0.0;
   bool lu_dc = false;
   double lu_gmin = 0.0;
+
+  /// Sparse solve state, one per stamping mode (transient / DC).
+  SparseSystem sp_tr;
+  SparseSystem sp_dc;
 };
 
 struct SolveStats {

@@ -1,0 +1,262 @@
+#include "circuit/lane_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "circuit/newton.hpp"
+#include "circuit/stampers.hpp"
+
+namespace emc::ckt {
+
+LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
+                                 const TransientOptions& opt, LaneWorkspace& ws,
+                                 std::span<const int> probes,
+                                 std::span<sig::SampleSink* const> sinks,
+                                 std::size_t chunk_frames) {
+  const std::size_t L = lanes.size();
+  if (L == 0) throw std::invalid_argument("run_transient_lanes: no lanes");
+  if (sinks.size() != L)
+    throw std::invalid_argument("run_transient_lanes: need one sink per lane");
+  if (opt.solver == SolverKind::kDense)
+    throw std::invalid_argument("run_transient_lanes: lane batching is sparse-only");
+  if (opt.t_stop <= opt.t_start)
+    throw std::invalid_argument("run_transient: t_stop must exceed t_start");
+  if (opt.dt <= 0.0) throw std::invalid_argument("run_transient: dt must be positive");
+  if (chunk_frames == 0)
+    throw std::invalid_argument("run_transient_lanes: chunk_frames must be >= 1");
+
+  const int n_unknowns = lanes[0]->finalize();
+  for (Circuit* c : lanes)
+    if (c->finalize() != n_unknowns)
+      throw std::invalid_argument("run_transient_lanes: lanes differ in unknown count");
+  for (int id : probes)
+    if (id < 0 || id > n_unknowns)
+      throw std::invalid_argument("run_transient_lanes: probe id out of range");
+  const auto n = static_cast<std::size_t>(n_unknowns);
+
+  const bool linear = detail::circuit_is_linear(*lanes[0]);
+  for (Circuit* c : lanes)
+    if (detail::circuit_is_linear(*c) != linear)
+      throw std::invalid_argument("run_transient_lanes: lanes differ in linearity");
+
+  LaneRunStats stats;
+  stats.lanes.assign(L, SolveStats{});
+
+  for (Circuit* c : lanes)
+    for (const auto& dev : c->devices()) dev->reset();
+
+  // Per-lane state vectors stay contiguous: devices see exactly the spans
+  // a scalar run would hand them.
+  std::vector<std::vector<double>> x(L), x_prev(L);
+  for (std::size_t l = 0; l < L; ++l) x[l].assign(n, 0.0);
+
+  // DC operating points are solved lane by lane through the scalar
+  // machinery (the DC stamp topology differs from the transient's). The
+  // scalar workspace is invalidated per lane — cached factors cannot be
+  // trusted across circuits even when the configuration key matches.
+  if (ws.scalar.g.rows() != n) ws.scalar.resize(n);
+  if (opt.dc_start) {
+    for (std::size_t l = 0; l < L; ++l) {
+      ws.scalar.invalidate();
+      detail::dc_operating_point_impl(*lanes[l], ws.scalar, linear, x[l], opt);
+      SimState st{x[l], x[l], opt.t_start, 0.0, true, 1.0};
+      for (const auto& dev : lanes[l]->devices()) dev->post_dc(st);
+    }
+  }
+
+  const auto n_steps =
+      static_cast<std::size_t>(std::llround((opt.t_stop - opt.t_start) / opt.dt));
+  const std::size_t channels = probes.size();
+
+  sig::StreamInfo info;
+  info.t0 = opt.t_start;
+  info.dt = opt.dt;
+  info.channels = channels;
+  info.total_frames = n_steps + 1;
+  for (sig::SampleSink* s : sinks) s->begin(info);
+
+  ws.stream_buf.resize(L * chunk_frames * channels);
+  std::size_t buffered = 0;
+  std::size_t flushed = 0;
+
+  const auto stage_frame = [&] {
+    for (std::size_t l = 0; l < L; ++l) {
+      double* dst = ws.stream_buf.data() + (l * chunk_frames + buffered) * channels;
+      for (std::size_t c = 0; c < channels; ++c) {
+        const int id = probes[c];
+        dst[c] = id == 0 ? 0.0 : x[l][static_cast<std::size_t>(id) - 1];
+      }
+    }
+    if (++buffered == chunk_frames) {
+      for (std::size_t l = 0; l < L; ++l) {
+        sig::SampleChunk chunk{flushed, buffered, channels,
+                               ws.stream_buf.data() + l * chunk_frames * channels};
+        sinks[l]->consume(chunk);
+      }
+      flushed += buffered;
+      buffered = 0;
+    }
+  };
+
+  stage_frame();  // frame 0: the state at t_start
+
+  for (std::size_t l = 0; l < L; ++l) x_prev[l] = x[l];
+
+  bool batch_ready = false;   ///< pattern built and batched storage bound
+  bool num_cached = false;    ///< linear fast path: batched factor loaded
+
+  // Assemble the stamped lanes into the batched system. Stamps landing
+  // outside the pattern grow it and force a full re-stamp of every lane
+  // (set_pattern zeroes all value lanes).
+  const auto assemble = [&](const std::vector<char>& active, double t) {
+    for (int attempt = 0;; ++attempt) {
+      const bool restamp_all = attempt > 0;
+      std::vector<linalg::SparseCoord> missed;
+      for (std::size_t l = 0; l < L; ++l) {
+        if (!restamp_all && !active[l]) continue;
+        ws.a.clear_lane(l);
+        for (std::size_t i = 0; i < n; ++i) ws.rhs[i * L + l] = 0.0;
+        SparseStamper st(ws.a, ws.rhs, l, L, l);
+        SimState state{x[l], x_prev[l], t, opt.dt, false, 1.0};
+        for (const auto& dev : lanes[l]->devices()) dev->stamp(st, state);
+        ws.a.add_diag(opt.gmin, l);
+        missed.insert(missed.end(), st.missed().begin(), st.missed().end());
+      }
+      if (missed.empty()) return;
+      if (attempt >= 3)
+        throw std::runtime_error("run_transient_lanes: sparse pattern failed to stabilize");
+      ws.coords.insert(ws.coords.end(), missed.begin(), missed.end());
+      ws.pattern = linalg::SparsePattern::build(n, ws.coords);
+      ws.a.set_pattern(&ws.pattern, L);
+      num_cached = false;
+    }
+  };
+
+  std::vector<char> active(L, 1);
+  for (std::size_t k = 1; k <= n_steps; ++k) {
+    const double t = opt.t_start + opt.dt * static_cast<double>(k);
+
+    for (std::size_t l = 0; l < L; ++l) {
+      SimState st{x_prev[l], x_prev[l], t, opt.dt, false, 1.0};
+      for (const auto& dev : lanes[l]->devices()) dev->start_step(st);
+    }
+    for (std::size_t l = 0; l < L; ++l) x[l] = x_prev[l];  // warm start
+
+    if (!batch_ready) {
+      // Shared-structure validation + batched storage setup, once per run.
+      SimState st0{x[0], x_prev[0], t, opt.dt, false, 1.0};
+      ws.coords = detail::stamp_pattern(*lanes[0], st0);
+      ws.pattern = linalg::SparsePattern::build(n, ws.coords);
+      for (std::size_t l = 1; l < L; ++l) {
+        SimState stl{x[l], x_prev[l], t, opt.dt, false, 1.0};
+        auto coords = detail::stamp_pattern(*lanes[l], stl);
+        if (linalg::SparsePattern::build(n, coords).hash() != ws.pattern.hash())
+          throw std::invalid_argument(
+              "run_transient_lanes: lanes do not share a stamped pattern");
+      }
+      ws.a.set_pattern(&ws.pattern, L);
+      ws.rhs.assign(n * L, 0.0);
+      ws.x_new.assign(n * L, 0.0);
+      batch_ready = true;
+    }
+
+    if (linear && opt.cache_lu) {
+      // Batched linear fast path: one shared-structure factorization per
+      // run, one batched back-substitution per step.
+      std::fill(active.begin(), active.end(), 1);
+      assemble(active, t);
+      for (std::size_t l = 0; l < L; ++l) ++stats.lanes[l].total_newton_iters;
+      bool factored = num_cached;
+      if (!num_cached) {
+        try {
+          ws.lu.factor(ws.a);
+          num_cached = factored = true;
+          stats.batched_walk_entries += ws.lu.factor_walk();
+          stats.scalar_walk_entries += L * ws.lu.factor_walk();
+        } catch (const std::runtime_error&) {
+          // Singular system: same policy as the scalar linear path — keep
+          // the warm-started state and count the step as weakly converged.
+          for (std::size_t l = 0; l < L; ++l) ++stats.lanes[l].weak_steps;
+        }
+      }
+      if (factored) {
+        std::copy(ws.rhs.begin(), ws.rhs.end(), ws.x_new.begin());
+        ws.lu.solve_lanes_in_place(ws.x_new);
+        stats.batched_walk_entries += ws.lu.solve_walk();
+        stats.scalar_walk_entries += L * ws.lu.solve_walk();
+        for (std::size_t l = 0; l < L; ++l)
+          for (std::size_t i = 0; i < n; ++i) x[l][i] = ws.x_new[i * L + l];
+      }
+    } else {
+      std::fill(active.begin(), active.end(), 1);
+      std::size_t n_active = L;
+      for (int it = 0; it < opt.max_newton && n_active > 0; ++it) {
+        for (std::size_t l = 0; l < L; ++l)
+          if (active[l]) ++stats.lanes[l].total_newton_iters;
+        assemble(active, t);
+        try {
+          ws.lu.factor(ws.a);
+        } catch (const std::runtime_error&) {
+          break;  // singular at this iterate: weak/NaN handling below
+        }
+        num_cached = false;
+        stats.batched_walk_entries += ws.lu.factor_walk();
+        stats.scalar_walk_entries += n_active * ws.lu.factor_walk();
+        std::copy(ws.rhs.begin(), ws.rhs.end(), ws.x_new.begin());
+        ws.lu.solve_lanes_in_place(ws.x_new);
+        stats.batched_walk_entries += ws.lu.solve_walk();
+        stats.scalar_walk_entries += n_active * ws.lu.solve_walk();
+
+        for (std::size_t l = 0; l < L; ++l) {
+          if (!active[l]) continue;
+          double dx_max = 0.0;
+          for (std::size_t i = 0; i < n; ++i)
+            dx_max = std::max(dx_max, std::abs(ws.x_new[i * L + l] - x[l][i]));
+          if (dx_max <= opt.tol) {
+            for (std::size_t i = 0; i < n; ++i) x[l][i] = ws.x_new[i * L + l];
+            active[l] = 0;
+            --n_active;
+            continue;
+          }
+          const double scale = (dx_max > opt.dx_limit) ? opt.dx_limit / dx_max : 1.0;
+          for (std::size_t i = 0; i < n; ++i)
+            x[l][i] += scale * (ws.x_new[i * L + l] - x[l][i]);
+        }
+      }
+      for (std::size_t l = 0; l < L; ++l) {
+        if (!active[l]) continue;
+        // Same policy as the scalar engine: accept weakly converged steps,
+        // reject genuine divergence (NaNs).
+        bool finite = true;
+        for (double v : x[l]) finite = finite && std::isfinite(v);
+        if (!finite)
+          throw std::runtime_error("run_transient_lanes: Newton diverged at t = " +
+                                   std::to_string(t) + " (lane " + std::to_string(l) +
+                                   ")");
+        ++stats.lanes[l].weak_steps;
+      }
+    }
+
+    for (std::size_t l = 0; l < L; ++l) {
+      SimState st{x[l], x_prev[l], t, opt.dt, false, 1.0};
+      for (const auto& dev : lanes[l]->devices()) dev->commit(st);
+    }
+    stage_frame();
+    for (std::size_t l = 0; l < L; ++l) std::swap(x_prev[l], x[l]);
+    for (std::size_t l = 0; l < L; ++l) ++stats.lanes[l].steps;
+  }
+
+  if (buffered > 0) {
+    for (std::size_t l = 0; l < L; ++l) {
+      sig::SampleChunk chunk{flushed, buffered, channels,
+                             ws.stream_buf.data() + l * chunk_frames * channels};
+      sinks[l]->consume(chunk);
+    }
+  }
+  for (sig::SampleSink* s : sinks) s->finish();
+  return stats;
+}
+
+}  // namespace emc::ckt

@@ -1,0 +1,73 @@
+// Lane-batched transient engine: advance several topology-sharing
+// circuits ("lanes" — e.g. sweep corners differing only in component
+// values or stimulus) through the same fixed-step transient in lockstep.
+//
+// All lanes share one sparse pattern and one symbolic analysis; the
+// Jacobians live side by side in a lane-batched SparseMatrix and are
+// factored/solved in a single pattern walk with unit-stride lane-inner
+// loops. Per-lane arithmetic is the identical operation sequence the
+// scalar sparse engine performs, so each lane's waveforms are
+// bit-identical to running that circuit alone through
+// run_transient_streamed with solver = kSparse. Newton convergence is
+// tracked per lane (converged lanes stop stamping and updating; the
+// remaining active lanes keep iterating).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/engine.hpp"
+#include "signal/sample_sink.hpp"
+
+namespace emc::ckt {
+
+/// Scratch for run_transient_lanes, reusable across batches. The scalar
+/// NewtonWorkspace inside serves the per-lane DC operating points (DC is
+/// solved lane by lane — its stamping topology differs from the
+/// transient's and is not worth batching).
+class LaneWorkspace {
+ public:
+  NewtonWorkspace scalar;
+
+  std::vector<linalg::SparseCoord> coords;
+  linalg::SparsePattern pattern;
+  linalg::SparseMatrix a;      ///< batched Jacobians, one lane each
+  linalg::SparseLu lu;
+  std::vector<double> rhs;     ///< n x lanes, lane-fastest
+  std::vector<double> x_new;   ///< n x lanes, lane-fastest
+  std::vector<double> stream_buf;  ///< per-lane chunk staging regions
+};
+
+/// What the batch did, per lane and in shared-structure walk currency.
+struct LaneRunStats {
+  std::vector<SolveStats> lanes;  ///< one per lane, scalar-run semantics
+
+  /// Pattern entries the batched factor/solve kernels actually walked
+  /// during the stepped transient (each walk shared by every lane), vs.
+  /// what the same solves would have walked run lane by lane (each active
+  /// lane paying its own walk). Their ratio is the structural work
+  /// reduction of lane batching — the honest throughput metric on a
+  /// single-core container, where wall time also carries the unbatchable
+  /// device evaluations. DC solves are excluded (identical on both sides).
+  unsigned long long batched_walk_entries = 0;
+  unsigned long long scalar_walk_entries = 0;
+};
+
+/// Run the same transient over `lanes` circuits in lockstep.
+///
+/// Requirements (std::invalid_argument otherwise): at least one lane; all
+/// lanes share the unknown count, the stamped sparsity pattern, and
+/// linearity; one sink per lane; opt.solver must not be kDense (the lane
+/// engine is sparse-only — for exact scalar correspondence run the
+/// reference with solver = kSparse).
+///
+/// Each lane's sink sees exactly the stream run_transient_streamed would
+/// deliver for that circuit: begin() with the shared geometry, `probes`
+/// channels per frame, chunk_frames frames per chunk.
+LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
+                                 const TransientOptions& opt, LaneWorkspace& ws,
+                                 std::span<const int> probes,
+                                 std::span<sig::SampleSink* const> sinks,
+                                 std::size_t chunk_frames = 1024);
+
+}  // namespace emc::ckt

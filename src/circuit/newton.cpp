@@ -1,0 +1,237 @@
+#include "circuit/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "circuit/stampers.hpp"
+
+namespace emc::ckt::detail {
+
+bool circuit_is_linear(const Circuit& ckt) {
+  for (const auto& dev : ckt.devices())
+    if (dev->nonlinear()) return false;
+  return true;
+}
+
+std::vector<linalg::SparseCoord> stamp_pattern(Circuit& ckt, const SimState& state) {
+  PatternStamper ps;
+  for (const auto& dev : ckt.devices()) dev->stamp(ps, state);
+  return std::move(ps).take_coords();
+}
+
+namespace {
+
+/// Resolve the backend for this solve's mode. Returns the mode's
+/// SparseSystem when the sparse path is selected (building the pattern on
+/// first use), nullptr for dense. The decision is cached in the system
+/// until the workspace is invalidated, and depends only on structure and
+/// options — never on values.
+SparseSystem* resolve_sparse(Circuit& ckt, NewtonWorkspace& ws, const SimState& state,
+                             bool dc, const TransientOptions& opt, std::size_t n) {
+  if (opt.solver == SolverKind::kDense) return nullptr;
+  if (opt.solver == SolverKind::kAuto && n < opt.sparse_min_unknowns) return nullptr;
+
+  SparseSystem& s = dc ? ws.sp_dc : ws.sp_tr;
+  if (!s.pattern_ready) {
+    s.coords = stamp_pattern(ckt, state);
+    s.pattern = linalg::SparsePattern::build(n, s.coords);
+    s.pattern_ready = true;
+    s.use_sparse = -1;
+    s.a.set_pattern(&s.pattern, 1);
+    s.num_cached = false;
+  } else if (s.a.pattern() != &s.pattern || s.a.lanes() != 1) {
+    // The workspace object moved since the pattern was built; rebind.
+    s.a.set_pattern(&s.pattern, 1);
+    s.num_cached = false;
+  }
+  if (s.use_sparse < 0) {
+    const bool dense_enough =
+        static_cast<double>(s.pattern.nnz()) <=
+        opt.sparse_max_density * static_cast<double>(n) * static_cast<double>(n);
+    s.use_sparse = (opt.solver == SolverKind::kSparse || dense_enough) ? 1 : 0;
+  }
+  return s.use_sparse == 1 ? &s : nullptr;
+}
+
+}  // namespace
+
+bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<double>& x,
+                  const std::vector<double>& x_prev, double t, double dt, bool dc,
+                  double src_scale, const TransientOptions& opt, long* iter_count) {
+  const std::size_t n = x.size();
+
+  SparseSystem* sys;
+  {
+    SimState state{x, x_prev, t, dt, dc, src_scale};
+    sys = resolve_sparse(ckt, ws, state, dc, opt, n);
+  }
+
+  const auto assemble_dense = [&] {
+    ws.g.fill(0.0);
+    std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
+    DenseStamper st(ws.g, ws.rhs);
+    SimState state{x, x_prev, t, dt, dc, src_scale};
+    for (const auto& dev : ckt.devices()) dev->stamp(st, state);
+    for (std::size_t i = 0; i < n; ++i) ws.g(i, i) += opt.gmin;
+  };
+
+  const auto assemble_sparse = [&] {
+    for (int attempt = 0;; ++attempt) {
+      sys->a.clear_values();
+      std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
+      SparseStamper st(sys->a, ws.rhs);
+      SimState state{x, x_prev, t, dt, dc, src_scale};
+      for (const auto& dev : ckt.devices()) dev->stamp(st, state);
+      if (st.missed().empty()) {
+        sys->a.add_diag(opt.gmin);
+        return;
+      }
+      // A device stamped outside the discovered pattern (state-dependent
+      // structure): grow the pattern by the missed positions and retry.
+      if (attempt >= 3)
+        throw std::runtime_error("newton_solve: sparse pattern failed to stabilize");
+      sys->coords.insert(sys->coords.end(), st.missed().begin(), st.missed().end());
+      sys->pattern = linalg::SparsePattern::build(n, sys->coords);
+      sys->a.set_pattern(&sys->pattern, 1);
+      sys->num_cached = false;
+    }
+  };
+
+  const auto assemble = [&] { sys ? assemble_sparse() : assemble_dense(); };
+
+  if (linear && opt.cache_lu) {
+    // Linear fast path: the Jacobian depends only on (dt, dc, gmin) —
+    // never on t, x, or src_scale, which enter the right-hand side only —
+    // so factor once per configuration and reuse the factors for every
+    // step. The single solve is exact; no damping loop is needed.
+    assemble();
+    if (iter_count) ++(*iter_count);
+    if (sys) {
+      if (!sys->num_cached || sys->key_dt != dt || sys->key_dc != dc ||
+          sys->key_gmin != opt.gmin) {
+        try {
+          sys->lu.factor(sys->a);
+        } catch (const std::runtime_error&) {
+          sys->num_cached = false;
+          return false;  // singular system
+        }
+        sys->num_cached = true;
+        sys->key_dt = dt;
+        sys->key_dc = dc;
+        sys->key_gmin = opt.gmin;
+      }
+      std::copy(ws.rhs.begin(), ws.rhs.end(), ws.x_new.begin());
+      sys->lu.solve_in_place(ws.x_new);
+    } else {
+      if (!ws.lu_cached || ws.lu_dt != dt || ws.lu_dc != dc || ws.lu_gmin != opt.gmin) {
+        try {
+          ws.lu.factor(ws.g);
+        } catch (const std::runtime_error&) {
+          ws.lu_cached = false;
+          return false;  // singular system
+        }
+        ws.lu_cached = true;
+        ws.lu_dt = dt;
+        ws.lu_dc = dc;
+        ws.lu_gmin = opt.gmin;
+      }
+      std::copy(ws.rhs.begin(), ws.rhs.end(), ws.x_new.begin());
+      ws.lu.solve_in_place(ws.x_new);
+    }
+    std::copy(ws.x_new.begin(), ws.x_new.end(), x.begin());
+    return true;
+  }
+
+  for (int it = 0; it < opt.max_newton; ++it) {
+    if (iter_count) ++(*iter_count);
+    assemble();
+    try {
+      if (sys)
+        sys->lu.factor(sys->a);
+      else
+        ws.lu.factor(ws.g);
+    } catch (const std::runtime_error&) {
+      ws.lu_cached = false;
+      if (sys) sys->num_cached = false;
+      return false;  // singular system at this iterate
+    }
+    // The generic path leaves no reusable numeric factorization (the
+    // symbolic analysis inside the SparseLu survives on its own).
+    ws.lu_cached = false;
+    if (sys) sys->num_cached = false;
+    std::copy(ws.rhs.begin(), ws.rhs.end(), ws.x_new.begin());
+    if (sys)
+      sys->lu.solve_in_place(ws.x_new);
+    else
+      ws.lu.solve_in_place(ws.x_new);
+
+    double dx_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      dx_max = std::max(dx_max, std::abs(ws.x_new[i] - x[i]));
+
+    if (dx_max <= opt.tol) {
+      std::copy(ws.x_new.begin(), ws.x_new.end(), x.begin());
+      return true;
+    }
+    // Damping: clamp the update so nonlinear devices cannot be thrown far
+    // outside their linearization region.
+    const double scale = (dx_max > opt.dx_limit) ? opt.dx_limit / dx_max : 1.0;
+    for (std::size_t i = 0; i < n; ++i) x[i] += scale * (ws.x_new[i] - x[i]);
+  }
+  return false;
+}
+
+void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
+                             std::vector<double>& x, const TransientOptions& opt) {
+  const std::vector<double> zeros(x.size(), 0.0);
+
+  // Divergence here is diagnosed from sweep logs where the circuit is long
+  // gone — the exception must carry the whole continuation history.
+  std::string attempted = "gmin schedule:";
+  char buf[40];
+  const auto note = [&](double v) {
+    std::snprintf(buf, sizeof buf, " %g", v);
+    attempted += buf;
+  };
+
+  // Strategy 1: gmin continuation from a heavily damped system.
+  for (double gmin : {1e-2, 1e-4, 1e-6, 1e-9, opt.gmin}) {
+    TransientOptions o = opt;
+    o.gmin = std::max(gmin, opt.gmin);
+    o.max_newton = 200;
+    note(o.gmin);
+    if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, /*dc=*/true, 1.0, o,
+                      nullptr)) {
+      // Restart the continuation with source stepping below.
+      attempted += " (diverged)";
+      break;
+    }
+    if (o.gmin == opt.gmin) return;
+  }
+
+  // Strategy 2: source stepping on top of gmin continuation. The failed
+  // ladder solve left devices linearized around a diverged iterate — start
+  // over from a clean slate: zero the solution AND reset device history.
+  std::fill(x.begin(), x.end(), 0.0);
+  for (const auto& dev : ckt.devices()) dev->reset();
+  attempted += "; source-scale schedule (gmin 1e-9):";
+  for (double scale : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    TransientOptions o = opt;
+    o.max_newton = 300;
+    o.gmin = 1e-9;
+    note(scale);
+    if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, scale, o, nullptr))
+      throw std::runtime_error("dc_operating_point: no convergence at source scale " +
+                               std::to_string(scale) + " [attempted " + attempted + "]");
+  }
+  TransientOptions o = opt;
+  o.max_newton = 300;
+  if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, 1.0, o, nullptr))
+    throw std::runtime_error("dc_operating_point: final polish failed [attempted " +
+                             attempted + "]");
+}
+
+}  // namespace emc::ckt::detail

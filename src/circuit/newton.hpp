@@ -1,0 +1,35 @@
+// Internal Newton/MNA solve machinery shared by the scalar engine
+// (engine.cpp) and the lane-batched engine (lane_engine.cpp). Not part of
+// the public surface — include circuit/engine.hpp instead.
+#pragma once
+
+#include <vector>
+
+#include "circuit/engine.hpp"
+
+namespace emc::ckt::detail {
+
+/// True when no device's stamp depends on the candidate solution, i.e. the
+/// MNA system G x = rhs is solved exactly by a single factorization.
+bool circuit_is_linear(const Circuit& ckt);
+
+/// Structure-discovery pass: stamp every device through a PatternStamper
+/// at `state` and return the recorded positions (0-based, ground dropped).
+std::vector<linalg::SparseCoord> stamp_pattern(Circuit& ckt, const SimState& state);
+
+/// One damped Newton solve of the (non)linear MNA system at a fixed
+/// (t, dt, dc, src_scale) configuration, through the backend
+/// opt.solver resolves to for this mode. Returns true on convergence;
+/// x holds the solution (or the last iterate on failure). All scratch
+/// lives in `ws`: steady-state calls perform no heap allocation.
+bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<double>& x,
+                  const std::vector<double>& x_prev, double t, double dt, bool dc,
+                  double src_scale, const TransientOptions& opt, long* iter_count);
+
+/// DC operating point with gmin continuation and source stepping; throws
+/// std::runtime_error (including the schedule attempted) when everything
+/// fails.
+void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
+                             std::vector<double>& x, const TransientOptions& opt);
+
+}  // namespace emc::ckt::detail

@@ -186,7 +186,12 @@ std::vector<double> solve_ridge(const Matrix& a, std::span<const double> b, doub
 }
 
 std::vector<double> solve_dense(const Matrix& a, std::span<const double> b) {
-  return LuFactor(a).solve(b);
+  // Reuse one factorization's storage per thread: repeated calls on
+  // same-sized systems (line post_dc seeding per corner) neither copy the
+  // input by value nor reallocate.
+  static thread_local LuFactor lu;
+  lu.factor(a);
+  return lu.solve(b);
 }
 
 }  // namespace emc::linalg

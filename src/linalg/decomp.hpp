@@ -81,7 +81,9 @@ std::vector<double> solve_least_squares(const Matrix& a, std::span<const double>
 /// Robust for nearly collinear regressor sets.
 std::vector<double> solve_ridge(const Matrix& a, std::span<const double> b, double lambda);
 
-/// Convenience: dense solve of a square system (single use).
+/// Convenience: dense solve of a square system (single use). Routes
+/// through a thread-local reusable LuFactor, so back-to-back calls on
+/// same-sized systems perform no copy of `a` and no extra allocation.
 std::vector<double> solve_dense(const Matrix& a, std::span<const double> b);
 
 }  // namespace emc::linalg

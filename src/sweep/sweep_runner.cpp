@@ -6,13 +6,102 @@
 #include <cstdint>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "circuit/devices_linear.hpp"
+#include "circuit/lane_engine.hpp"
 #include "circuit/netlist.hpp"
 #include "core/driver_device.hpp"
 
 namespace emc::sweep {
+
+namespace {
+
+/// One corner's transient setup — circuit, probe, step geometry — shared
+/// verbatim between the scalar corner function and the lane-batched sweep
+/// so both simulate the identical system (device order included: the
+/// stamp order decides the sparse pattern's coordinate stream).
+struct CornerTransient {
+  ckt::Circuit c;
+  int b1 = 0;                   ///< measured far-end land (the only probe)
+  std::size_t per_period = 0;   ///< frames per stimulus pattern period
+  std::size_t chunk_frames = 0;
+  ckt::TransientOptions opt;
+};
+
+std::unique_ptr<CornerTransient> build_emission_transient(const EmissionSweepConfig& cfg,
+                                                          const Scenario& sc) {
+  auto out = std::make_unique<CornerTransient>();
+  ckt::Circuit& c = out->c;
+  const int a1 = c.node();
+  const int a2 = c.node();
+  out->b1 = c.node();
+  const int b2 = c.node();
+
+  ckt::CoupledLineParams line = cfg.line;
+  line.length = sc.line_length;
+  add_coupled_lossy_line(c, {a1, a2}, {out->b1, b2}, line, cfg.dt, cfg.sections);
+  c.add<ckt::Capacitor>(out->b1, c.ground(), sc.load_c);
+  c.add<ckt::Capacitor>(b2, c.ground(), sc.load_c);
+
+  std::string active_bits;
+  for (int p = 0; p < cfg.periods; ++p) active_bits += sc.bits;
+  const std::string quiet_bits(active_bits.size(), '0');
+  c.add<core::DriverDevice>(a1, *cfg.model, active_bits, cfg.bit_time);
+  c.add<core::DriverDevice>(a2, *cfg.model, quiet_bits, cfg.bit_time);
+
+  const double period = cfg.bit_time * static_cast<double>(sc.bits.size());
+  out->opt.dt = cfg.dt;
+  out->opt.t_stop = period * static_cast<double>(cfg.periods);
+  out->opt.solver = cfg.solver;
+  out->per_period = static_cast<std::size_t>(std::lround(period / cfg.dt));
+  out->chunk_frames =
+      std::clamp<std::size_t>(cfg.stream_budget_bytes / sizeof(double), 64, 65536);
+  return out;
+}
+
+/// Supply scaling + receiver scan + mask check of one steady record: the
+/// post-transient tail of the corner pipeline, pure in (record, scenario).
+spec::ComplianceReport post_process_corner(const EmissionSweepConfig& cfg,
+                                           const Scenario& sc,
+                                           const sig::Waveform& steady_record,
+                                           spec::EmiScanner& scanner) {
+  // First-order supply corner: emission levels scale ~linearly with VDD.
+  sig::Waveform record = steady_record;
+  record *= sc.vdd_scale;
+
+  spec::ReceiverSettings rx = cfg.rx;
+  rx.rbw = sc.rbw;
+  const auto scan = scanner.scan(record, rx);
+  const std::vector<double>* trace = nullptr;
+  switch (sc.detector) {
+    case Detector::kPeak: trace = &scan.peak_dbuv; break;
+    case Detector::kQuasiPeak: trace = &scan.quasi_peak_dbuv; break;
+    case Detector::kAverage: trace = &scan.average_dbuv; break;
+  }
+  // A scan truncated at the record's Nyquist rate must not silently
+  // pass the mask — carry the dropped-point count into the report.
+  return spec::check_compliance(scan.freq, *trace, cfg.mask, sc.label(),
+                                scan.skipped_points);
+}
+
+void validate_emission_config(const EmissionSweepConfig& cfg, const char* who) {
+  if (!cfg.model) throw std::invalid_argument(std::string(who) + ": null model");
+  if (cfg.periods < 2)
+    throw std::invalid_argument(std::string(who) +
+                                ": need >= 2 periods (the first is discarded)");
+  if (cfg.line.l.rows() != 2 || cfg.line.c.rows() != 2)
+    throw std::invalid_argument(std::string(who) + ": line must have 2 conductors");
+}
+
+std::string emission_memo_key(const Scenario& sc) {
+  char key[96];
+  std::snprintf(key, sizeof key, "|%.17g|%.17g", sc.line_length, sc.load_c);
+  return sc.bits + key;
+}
+
+}  // namespace
 
 SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> results,
                        const MarginHistogram& histogram_spec) {
@@ -105,12 +194,7 @@ SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
 }
 
 CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
-  if (!cfg.model) throw std::invalid_argument("make_emission_corner_fn: null model");
-  if (cfg.periods < 2)
-    throw std::invalid_argument(
-        "make_emission_corner_fn: need >= 2 periods (the first is discarded)");
-  if (cfg.line.l.rows() != 2 || cfg.line.c.rows() != 2)
-    throw std::invalid_argument("make_emission_corner_fn: line must have 2 conductors");
+  validate_emission_config(cfg, "make_emission_corner_fn");
 
   return [cfg](const Scenario& sc, Workspace& ws) -> spec::ComplianceReport {
     // The transient depends only on (pattern, line length, load); the
@@ -118,35 +202,12 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
     // steady-state record per worker so a chunk of post-processing
     // corners pays for one transient (a hit is bit-identical to
     // recomputing — the record is a pure function of the key).
-    char key[96];
-    std::snprintf(key, sizeof key, "|%.17g|%.17g", sc.line_length, sc.load_c);
-    std::string memo_key = sc.bits + key;
+    std::string memo_key = emission_memo_key(sc);
 
     if (ws.memo_key != memo_key) {
       // Per-corner circuit: everything mutable lives here; the macromodel
       // is shared const across workers.
-      ckt::Circuit c;
-      const int a1 = c.node();
-      const int a2 = c.node();
-      const int b1 = c.node();
-      const int b2 = c.node();
-
-      ckt::CoupledLineParams line = cfg.line;
-      line.length = sc.line_length;
-      add_coupled_lossy_line(c, {a1, a2}, {b1, b2}, line, cfg.dt, cfg.sections);
-      c.add<ckt::Capacitor>(b1, c.ground(), sc.load_c);
-      c.add<ckt::Capacitor>(b2, c.ground(), sc.load_c);
-
-      std::string active_bits;
-      for (int p = 0; p < cfg.periods; ++p) active_bits += sc.bits;
-      const std::string quiet_bits(active_bits.size(), '0');
-      c.add<core::DriverDevice>(a1, *cfg.model, active_bits, cfg.bit_time);
-      c.add<core::DriverDevice>(a2, *cfg.model, quiet_bits, cfg.bit_time);
-
-      const double period = cfg.bit_time * static_cast<double>(sc.bits.size());
-      ckt::TransientOptions opt;
-      opt.dt = cfg.dt;
-      opt.t_stop = period * static_cast<double>(cfg.periods);
+      auto tr = build_emission_transient(cfg, sc);
 
       // Streamed transient: probe only the measured land and record only
       // the steady-state window (drop the first pattern period as startup
@@ -154,46 +215,135 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
       // sampled). The engine never materializes the full all-unknowns
       // record; the chunk staging buffer lives in ws.newton and is reused
       // across every corner this worker runs.
-      const auto per_period = static_cast<std::size_t>(std::lround(period / cfg.dt));
-      const int probes[] = {b1};
-      const std::size_t chunk_frames = std::clamp<std::size_t>(
-          cfg.stream_budget_bytes / (sizeof(double) * std::size(probes)), 64, 65536);
-      sig::RecordingSink rec(per_period,
-                             per_period * static_cast<std::size_t>(cfg.periods - 1));
-      ckt::run_transient_streamed(c, opt, ws.newton, probes, rec, chunk_frames);
+      const int probes[] = {tr->b1};
+      sig::RecordingSink rec(tr->per_period,
+                             tr->per_period * static_cast<std::size_t>(cfg.periods - 1));
+      ckt::run_transient_streamed(tr->c, tr->opt, ws.newton, probes, rec,
+                                  tr->chunk_frames);
       // Single-channel recording: the flat buffer IS the steady record —
       // move it out instead of copying through waveform().
-      ws.memo_record =
-          sig::Waveform(opt.t_start + opt.dt * static_cast<double>(per_period), opt.dt,
-                        std::move(rec).take_data());
+      ws.memo_record = sig::Waveform(
+          tr->opt.t_start + tr->opt.dt * static_cast<double>(tr->per_period), tr->opt.dt,
+          std::move(rec).take_data());
 
-      const auto n_unknowns = static_cast<std::size_t>(c.finalize());
+      const auto n_unknowns = static_cast<std::size_t>(tr->c.finalize());
       const auto n_frames =
-          static_cast<std::size_t>(std::llround(opt.t_stop / opt.dt)) + 1;
+          static_cast<std::size_t>(std::llround(tr->opt.t_stop / tr->opt.dt)) + 1;
       ws.memo_streamed_bytes =
-          (chunk_frames + ws.memo_record.size()) * sizeof(double);
+          (tr->chunk_frames + ws.memo_record.size()) * sizeof(double);
       ws.memo_monolithic_bytes = n_frames * n_unknowns * sizeof(double);
       ws.memo_key = std::move(memo_key);
     }
 
-    // First-order supply corner: emission levels scale ~linearly with VDD.
-    sig::Waveform record = ws.memo_record;
-    record *= sc.vdd_scale;
-
-    spec::ReceiverSettings rx = cfg.rx;
-    rx.rbw = sc.rbw;
-    const auto scan = ws.scanner.scan(record, rx);
-    const std::vector<double>* trace = nullptr;
-    switch (sc.detector) {
-      case Detector::kPeak: trace = &scan.peak_dbuv; break;
-      case Detector::kQuasiPeak: trace = &scan.quasi_peak_dbuv; break;
-      case Detector::kAverage: trace = &scan.average_dbuv; break;
-    }
-    // A scan truncated at the record's Nyquist rate must not silently
-    // pass the mask — carry the dropped-point count into the report.
-    return spec::check_compliance(scan.freq, *trace, cfg.mask, sc.label(),
-                                  scan.skipped_points);
+    return post_process_corner(cfg, sc, ws.memo_record, ws.scanner);
   };
+}
+
+SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
+                                      const CornerGrid& grid, std::size_t max_lanes,
+                                      const MarginHistogram& histogram_spec,
+                                      LaneSweepInfo* info) {
+  validate_emission_config(cfg, "run_emission_sweep_lanes");
+  if (cfg.solver == ckt::SolverKind::kDense)
+    throw std::invalid_argument("run_emission_sweep_lanes: lane batching is sparse-only");
+  if (max_lanes == 0)
+    throw std::invalid_argument("run_emission_sweep_lanes: max_lanes must be >= 1");
+
+  // One transient group per distinct memo key: the same unit of work the
+  // scalar runner's record memo deduplicates. Keys repeat only in
+  // contiguous runs (post-processing axes vary fastest in grid order).
+  struct Group {
+    std::string key;
+    std::size_t first = 0;               ///< grid index defining the transient
+    std::vector<std::size_t> corners;    ///< grid indices sharing the record
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::string key = emission_memo_key(grid.at(i));
+    if (groups.empty() || groups.back().key != key)
+      groups.push_back(Group{std::move(key), i, {}});
+    groups.back().corners.push_back(i);
+  }
+
+  SweepOutcome out;
+  out.results.resize(grid.size());
+  spec::EmiScanner scanner;
+  ckt::LaneWorkspace lw;
+  LaneSweepInfo acc;
+
+  std::size_t g0 = 0;
+  while (g0 < groups.size()) {
+    // Batch consecutive groups advancing the same topology through the
+    // same step count: equal line length (fixes the section count and the
+    // unknown count) and equal pattern length (fixes t_stop).
+    const Scenario sc0 = grid.at(groups[g0].first);
+    std::size_t g1 = g0 + 1;
+    while (g1 < groups.size() && g1 - g0 < max_lanes) {
+      const Scenario sc = grid.at(groups[g1].first);
+      if (sc.line_length != sc0.line_length || sc.bits.size() != sc0.bits.size()) break;
+      ++g1;
+    }
+    const std::size_t L = g1 - g0;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::unique_ptr<CornerTransient>> built;
+    std::vector<ckt::Circuit*> lanes;
+    std::vector<sig::RecordingSink> recs;
+    std::vector<sig::SampleSink*> sinks;
+    built.reserve(L);
+    recs.reserve(L);
+    for (std::size_t l = 0; l < L; ++l) {
+      built.push_back(build_emission_transient(cfg, grid.at(groups[g0 + l].first)));
+      recs.emplace_back(built[l]->per_period,
+                        built[l]->per_period * static_cast<std::size_t>(cfg.periods - 1));
+    }
+    for (std::size_t l = 0; l < L; ++l) {
+      lanes.push_back(&built[l]->c);
+      sinks.push_back(&recs[l]);
+    }
+
+    const int probes[] = {built[0]->b1};
+    const auto stats = ckt::run_transient_lanes(lanes, built[0]->opt, lw, probes, sinks,
+                                                built[0]->chunk_frames);
+    acc.batches += 1;
+    acc.transients += L;
+    acc.batched_walk_entries += stats.batched_walk_entries;
+    acc.scalar_walk_entries += stats.scalar_walk_entries;
+
+    std::size_t batch_corners = 0;
+    for (std::size_t l = 0; l < L; ++l) batch_corners += groups[g0 + l].corners.size();
+
+    for (std::size_t l = 0; l < L; ++l) {
+      const CornerTransient& tr = *built[l];
+      const sig::Waveform steady(
+          tr.opt.t_start + tr.opt.dt * static_cast<double>(tr.per_period), tr.opt.dt,
+          std::move(recs[l]).take_data());
+      const auto n_unknowns = static_cast<std::size_t>(built[l]->c.finalize());
+      const auto n_frames =
+          static_cast<std::size_t>(std::llround(tr.opt.t_stop / tr.opt.dt)) + 1;
+      const std::size_t streamed_bytes = (tr.chunk_frames + steady.size()) * sizeof(double);
+      const std::size_t monolithic_bytes = n_frames * n_unknowns * sizeof(double);
+
+      for (std::size_t idx : groups[g0 + l].corners) {
+        CornerResult& slot = out.results[idx];
+        slot.scenario = grid.at(idx);
+        slot.report = post_process_corner(cfg, slot.scenario, steady, scanner);
+        slot.streamed_record_bytes = streamed_bytes;
+        slot.monolithic_record_bytes = monolithic_bytes;
+      }
+    }
+    const double batch_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    for (std::size_t l = 0; l < L; ++l)
+      for (std::size_t idx : groups[g0 + l].corners)
+        out.results[idx].wall_s = batch_wall / static_cast<double>(batch_corners);
+
+    g0 = g1;
+  }
+
+  out.summary = summarize(grid, out.results, histogram_spec);
+  if (info) *info = acc;
+  return out;
 }
 
 std::size_t emission_chunk_hint(const CornerGrid& grid) {

@@ -173,6 +173,11 @@ struct EmissionSweepConfig {
   /// (clamped to [64, 65536]); the buffer lives in the worker's
   /// NewtonWorkspace and is reused across every corner the worker runs.
   std::size_t stream_budget_bytes = 64 * 1024;
+
+  /// MNA backend for the corner transients. Lane-batched sweeps require a
+  /// sparse backend; to compare a scalar sweep bit-for-bit against
+  /// run_emission_sweep_lanes, set kSparse on both sides.
+  ckt::SolverKind solver = ckt::SolverKind::kAuto;
 };
 
 /// Build the corner function running the full pipeline:
@@ -193,5 +198,35 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg);
 /// run as a chunk makes the worker's record memo hit for all but the
 /// first of them. Returns axis_size(rbw) * axis_size(vdd) * axis_size(det).
 std::size_t emission_chunk_hint(const CornerGrid& grid);
+
+/// Telemetry of a lane-batched emission sweep: how many transients
+/// actually ran, how they were batched, and the solver pattern-walk
+/// entries the batched kernels performed vs. what the identical solves
+/// would have walked corner by corner (see LaneRunStats — the ratio is
+/// the structural work reduction of lane batching).
+struct LaneSweepInfo {
+  std::size_t transients = 0;  ///< unique transient groups simulated
+  std::size_t batches = 0;     ///< lane batches dispatched
+  unsigned long long batched_walk_entries = 0;
+  unsigned long long scalar_walk_entries = 0;
+};
+
+/// Lane-batched counterpart of SweepRunner + make_emission_corner_fn for
+/// the emission pipeline: corners sharing a transient are grouped (one
+/// group = one lane), consecutive groups sharing the line topology and
+/// pattern length are advanced in lockstep through run_transient_lanes
+/// (up to `max_lanes` at a time), then every corner is post-processed
+/// exactly as the scalar corner function would.
+///
+/// Per-lane arithmetic is bit-identical to the scalar sparse engine, so
+/// the SweepOutcome::summary equals a SweepRunner run of the same grid
+/// with cfg.solver = kSparse. cfg.solver must not be kDense
+/// (std::invalid_argument). `wall_s` per corner is the batch wall time
+/// split evenly — diagnostic only, as in the scalar runner.
+SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
+                                      const CornerGrid& grid,
+                                      std::size_t max_lanes = 4,
+                                      const MarginHistogram& histogram_spec = {},
+                                      LaneSweepInfo* info = nullptr);
 
 }  // namespace emc::sweep

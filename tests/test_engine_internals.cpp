@@ -3,8 +3,10 @@
 // step, waveforms identical to the generic re-factorizing path).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "circuit/devices_linear.hpp"
 #include "circuit/devices_nonlinear.hpp"
@@ -119,6 +121,165 @@ TEST(LinearFastPath, NonlinearCircuitUsesGenericPath) {
   auto opt = rlc_options();
   const auto res = ckt::run_transient(c, opt);
   EXPECT_GT(res.stats.total_newton_iters, res.stats.steps);
+}
+
+namespace {
+
+/// Same unknown count as build_rlc (3 nodes + 2 branch currents) but a
+/// different connection structure => different sparsity pattern.
+int build_rc_ladder(ckt::Circuit& c) {
+  const int n1 = c.node();
+  const int n2 = c.node();
+  const int out = c.node();
+  c.add<ckt::VSource>(n1, 0, [](double t) { return t < 1e-9 ? 0.0 : 3.3; });
+  c.add<ckt::Resistor>(n1, n2, 50.0);
+  c.add<ckt::Resistor>(n2, out, 50.0);
+  c.add<ckt::Capacitor>(out, 0, 10e-12);
+  c.add<ckt::Inductor>(out, 0, 20e-9);
+  return out;
+}
+
+double max_waveform_delta(const ckt::TransientResult& a, const ckt::TransientResult& b,
+                          int id) {
+  const auto wa = a.waveform(id);
+  const auto wb = b.waveform(id);
+  EXPECT_EQ(wa.size(), wb.size());
+  double max_dv = 0.0;
+  for (std::size_t k = 0; k < wa.size(); ++k)
+    max_dv = std::max(max_dv, std::abs(wa[k] - wb[k]));
+  return max_dv;
+}
+
+}  // namespace
+
+TEST(WorkspaceInvalidation, DenseCacheDroppedOnOptionChange) {
+  // Reusing a workspace across runs with different dt or gmin must refactor
+  // rather than reuse a stale cached LU: each run's waveforms must equal a
+  // fresh-workspace run of the same configuration exactly.
+  ckt::Circuit shared_c, fresh_c;
+  const int out_shared = build_rlc(shared_c);
+  const int out_fresh = build_rlc(fresh_c);
+
+  ckt::NewtonWorkspace ws;
+  auto opt = rlc_options();
+  ckt::run_transient(shared_c, opt, ws);  // primes the dt = 25 ps cache
+
+  for (const auto& [dt, gmin] : {std::pair{50e-12, 1e-12}, std::pair{50e-12, 1e-9}}) {
+    opt.dt = dt;
+    opt.gmin = gmin;
+    const auto res = ckt::run_transient(shared_c, opt, ws);
+    ckt::NewtonWorkspace fresh_ws;
+    const auto ref = ckt::run_transient(fresh_c, opt, fresh_ws);
+    EXPECT_EQ(max_waveform_delta(res, ref, out_shared), 0.0)
+        << "dt=" << dt << " gmin=" << gmin;
+    (void)out_fresh;
+  }
+}
+
+TEST(WorkspaceInvalidation, SparseSymbolicSurvivesNumericDrop) {
+  // Between runs the numeric factors are dropped but the symbolic analysis
+  // (pattern-hash-validated) is reused: a second identical run re-factors
+  // without re-analyzing, and an option change still matches a fresh run.
+  ckt::Circuit c;
+  const int out = build_rlc(c);
+  auto opt = rlc_options();
+  opt.solver = ckt::SolverKind::kSparse;
+
+  ckt::NewtonWorkspace ws;
+  ckt::run_transient(c, opt, ws);
+  const auto& st = ws.sp_tr.lu.stats();
+  EXPECT_EQ(st.analyses, 1);
+  const long refactors_first = st.refactors;
+  EXPECT_GT(refactors_first, 0);
+
+  ckt::run_transient(c, opt, ws);
+  EXPECT_EQ(st.analyses, 1);  // same topology: symbolic reused...
+  EXPECT_GT(st.symbolic_reuses, 0);
+  EXPECT_GT(st.refactors, refactors_first);  // ...but the numbers were redone
+
+  opt.gmin = 1e-9;
+  const auto res = ckt::run_transient(c, opt, ws);
+  ckt::Circuit fresh_c;
+  build_rlc(fresh_c);
+  ckt::NewtonWorkspace fresh_ws;
+  const auto ref = ckt::run_transient(fresh_c, opt, fresh_ws);
+  EXPECT_EQ(max_waveform_delta(res, ref, out), 0.0);
+}
+
+TEST(WorkspaceInvalidation, TopologyChangeSameSizeReanalyzes) {
+  // Equal unknown counts keep the workspace buffers, but a different
+  // stamped pattern must trigger a fresh symbolic analysis and produce the
+  // same waveforms as an unshared workspace.
+  ckt::Circuit a, b, b_fresh;
+  build_rlc(a);
+  const int out_b = build_rc_ladder(b);
+  build_rc_ladder(b_fresh);
+  ASSERT_EQ(a.finalize(), b.finalize());
+
+  auto opt = rlc_options();
+  opt.solver = ckt::SolverKind::kSparse;
+  ckt::NewtonWorkspace ws;
+  ckt::run_transient(a, opt, ws);
+  EXPECT_EQ(ws.sp_tr.lu.stats().analyses, 1);
+
+  const auto res = ckt::run_transient(b, opt, ws);
+  EXPECT_EQ(ws.sp_tr.lu.stats().analyses, 2);
+
+  ckt::NewtonWorkspace fresh_ws;
+  const auto ref = ckt::run_transient(b_fresh, opt, fresh_ws);
+  EXPECT_EQ(max_waveform_delta(res, ref, out_b), 0.0);
+}
+
+TEST(SparseSolver, MatchesDenseOnNonlinearCircuit) {
+  // Different elimination orders round differently, but the converged
+  // waveforms of the two backends must agree to solver tolerance.
+  ckt::Circuit dense_c, sparse_c;
+  for (ckt::Circuit* c : {&dense_c, &sparse_c}) {
+    const int n1 = c->node();
+    c->add<ckt::VSource>(n1, 0, [](double t) { return t < 1e-9 ? 0.0 : 3.3; });
+    const int out = c->node();
+    c->add<ckt::Resistor>(n1, out, 100.0);
+    c->add<ckt::Diode>(out, 0);
+    c->add<ckt::Capacitor>(out, 0, 1e-12);
+  }
+
+  auto opt = rlc_options();
+  opt.solver = ckt::SolverKind::kDense;
+  const auto res_dense = ckt::run_transient(dense_c, opt);
+  opt.solver = ckt::SolverKind::kSparse;
+  const auto res_sparse = ckt::run_transient(sparse_c, opt);
+
+  ASSERT_EQ(res_dense.steps(), res_sparse.steps());
+  EXPECT_LT(max_waveform_delta(res_dense, res_sparse, 2), 1e-9);
+}
+
+TEST(SparseSolver, AutoSelectionByProblemSize) {
+  // kAuto on a 5-unknown circuit must not even build a sparse pattern (the
+  // dense path is bit-identical to the pre-sparse engine); shrinking the
+  // threshold flips the same circuit onto the sparse backend.
+  ckt::Circuit c;
+  build_rlc(c);
+  auto opt = rlc_options();
+
+  ckt::NewtonWorkspace ws;
+  ckt::run_transient(c, opt, ws);
+  EXPECT_FALSE(ws.sp_tr.pattern_ready);
+  EXPECT_EQ(ws.sp_tr.lu.stats().refactors, 0);
+
+  // Past the size gate but failing the density rule (a 5-unknown MNA
+  // pattern is nowhere near 25% sparse): the pattern is built for the
+  // decision, then the dense backend is kept.
+  opt.sparse_min_unknowns = 1;
+  ckt::run_transient(c, opt, ws);
+  EXPECT_TRUE(ws.sp_tr.pattern_ready);
+  EXPECT_EQ(ws.sp_tr.use_sparse, 0);
+  EXPECT_EQ(ws.sp_tr.lu.stats().refactors, 0);
+
+  // Relaxing the density bound flips the same circuit onto sparse.
+  opt.sparse_max_density = 1.0;
+  ckt::run_transient(c, opt, ws);
+  EXPECT_EQ(ws.sp_tr.use_sparse, 1);
+  EXPECT_GT(ws.sp_tr.lu.stats().refactors, 0);
 }
 
 TEST(LinearFastPath, DcOperatingPointOfLinearDivider) {

@@ -5,7 +5,9 @@
 #include "circuit/devices_linear.hpp"
 #include "circuit/engine.hpp"
 #include "circuit/netlist.hpp"
+#include "circuit/stampers.hpp"
 #include "circuit/tline.hpp"
+#include "linalg/sparse.hpp"
 #include "signal/metrics.hpp"
 #include "signal/sources.hpp"
 
@@ -321,4 +323,85 @@ TEST(LossyCoupledLine, AutoSectionsRespectDt) {
   EXPECT_GE(td_total / h.sections, 25e-12);
   EXPECT_GE(h.sections, 1);
   EXPECT_LE(h.sections, 16);
+}
+
+TEST(LossyCoupledLine, StampsIdenticalThroughDenseAndSparseStampers) {
+  // The Fig. 3 structure — two coupled conductors, driver + quiet line,
+  // capacitive far-end loads — stamped twice from identical device state:
+  // once through the dense stamper, once through pattern discovery + the
+  // sparse stamper. Every matrix entry and rhs entry must match exactly
+  // (the stampers address different storage but receive the same values).
+  CoupledLineParams p;
+  p.l = emc::linalg::Matrix{{300e-9, 60e-9}, {60e-9, 300e-9}};
+  p.c = emc::linalg::Matrix{{100e-12, -20e-12}, {-20e-12, 100e-12}};
+  p.length = 0.1;
+  p.loss.rdc = 5.0;
+  p.loss.rskin = 1e-3;
+  p.loss.tan_delta = 0.02;
+
+  const double dt = 25e-12;
+  Circuit ckt;
+  const int a1 = ckt.node();
+  const int a2 = ckt.node();
+  const int b1 = ckt.node();
+  const int b2 = ckt.node();
+  const int src = ckt.node();
+  ckt.add<VSource>(src, ckt.ground(), [](double t) { return t < 1e-10 ? 0.0 : 1.0; });
+  ckt.add<Resistor>(src, a1, 25.0);
+  ckt.add<Resistor>(a2, ckt.ground(), 25.0);
+  add_coupled_lossy_line(ckt, {a1, a2}, {b1, b2}, p, dt, 0);
+  ckt.add<Capacitor>(b1, ckt.ground(), 2e-12);
+  ckt.add<Capacitor>(b2, ckt.ground(), 2e-12);
+
+  const auto n = static_cast<std::size_t>(ckt.finalize());
+  // Deterministic nonzero state so history-dependent stamps are exercised.
+  std::vector<double> x(n), x_prev(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.1 + 0.03 * static_cast<double>(i % 7);
+    x_prev[i] = 0.05 + 0.02 * static_cast<double>(i % 5);
+  }
+
+  const auto check_state = [&](const SimState& st) {
+    emc::linalg::Matrix g(n, n);
+    std::vector<double> rhs_dense(n, 0.0);
+    DenseStamper ds(g, rhs_dense);
+    for (const auto& dev : ckt.devices()) dev->stamp(ds, st);
+
+    PatternStamper ps;
+    for (const auto& dev : ckt.devices()) dev->stamp(ps, st);
+    const auto pattern =
+        emc::linalg::SparsePattern::build(n, std::move(ps).take_coords());
+
+    emc::linalg::SparseMatrix a;
+    a.set_pattern(&pattern);
+    std::vector<double> rhs_sparse(n, 0.0);
+    SparseStamper ss(a, rhs_sparse);
+    for (const auto& dev : ckt.devices()) dev->stamp(ss, st);
+    ASSERT_TRUE(ss.missed().empty());
+
+    const auto d = a.to_dense();
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(rhs_sparse[i], rhs_dense[i]) << "rhs row " << i;
+      for (std::size_t j = 0; j < n; ++j)
+        EXPECT_EQ(d(i, j), g(i, j)) << "entry (" << i << ", " << j << ")";
+    }
+  };
+
+  // DC topology: line stamps dc shorts, capacitors stamp open.
+  for (const auto& dev : ckt.devices()) dev->reset();
+  check_state(SimState{x, x_prev, 0.0, 0.0, true, 1.0});
+
+  // Transient topology at a mid-run step, with line history loaded.
+  for (const auto& dev : ckt.devices()) dev->reset();
+  for (int k = 1; k <= 4; ++k) {
+    const double t = dt * static_cast<double>(k);
+    SimState step{x_prev, x_prev, t, dt, false, 1.0};
+    for (const auto& dev : ckt.devices()) dev->start_step(step);
+    SimState committed{x, x_prev, t, dt, false, 1.0};
+    for (const auto& dev : ckt.devices()) dev->commit(committed);
+  }
+  const double t = dt * 5.0;
+  SimState step{x_prev, x_prev, t, dt, false, 1.0};
+  for (const auto& dev : ckt.devices()) dev->start_step(step);
+  check_state(SimState{x, x_prev, t, dt, false, 1.0});
 }
