@@ -22,69 +22,14 @@
 #include "json_out.hpp"
 #include "sweep/sweep_runner.hpp"
 
-namespace {
-
-using namespace emc;
-using bench::seconds_since;
-
-// Margins can be +inf ("no covered corner hit this value"), which %.9g
-// would render as invalid JSON — encode that case as a string.
-bench::Json margin_json(double margin_db) {
-  return std::isfinite(margin_db) ? bench::Json::number(margin_db)
-                                  : bench::Json::string("uncovered");
-}
-
-bench::Json summary_json(const sweep::CornerGrid& grid, const sweep::SweepSummary& s) {
-  auto o = bench::Json::object();
-  o.set("corners", bench::Json::integer(static_cast<long>(s.corners)));
-  o.set("passed", bench::Json::integer(static_cast<long>(s.passed)));
-  o.set("failed", bench::Json::integer(static_cast<long>(s.failed)));
-  o.set("uncovered", bench::Json::integer(static_cast<long>(s.uncovered)));
-  o.set("truncated", bench::Json::integer(static_cast<long>(s.truncated)));
-  o.set("worst_margin_db", margin_json(s.worst_margin_db));
-  if (s.passed + s.failed > 0) {
-    o.set("worst_corner", bench::Json::integer(static_cast<long>(s.worst_corner)));
-    o.set("worst_label", bench::Json::string(s.worst_label));
-  }
-
-  auto axes = bench::Json::array();
-  for (std::size_t a = 0; a < sweep::kNumAxes; ++a) {
-    const auto axis = static_cast<sweep::AxisId>(a);
-    if (grid.axis_size(axis) < 2) continue;  // singleton axes say nothing
-    auto row = bench::Json::object();
-    row.set("axis", bench::Json::string(sweep::axis_name(axis)));
-    auto vals = bench::Json::array();
-    for (std::size_t k = 0; k < grid.axis_size(axis); ++k) {
-      auto v = bench::Json::object();
-      v.set("value", bench::Json::string(grid.axis_value_label(axis, k)));
-      v.set("worst_margin_db", margin_json(s.axis_worst[a][k]));
-      vals.push(std::move(v));
-    }
-    row.set("worst_by_value", std::move(vals));
-    axes.push(std::move(row));
-  }
-  o.set("per_axis_worst", std::move(axes));
-
-  o.set("peak_streamed_record_bytes",
-        bench::Json::integer(static_cast<long>(s.peak_streamed_record_bytes)));
-  o.set("peak_monolithic_record_bytes",
-        bench::Json::integer(static_cast<long>(s.peak_monolithic_record_bytes)));
-
-  auto hist = bench::Json::object();
-  hist.set("lo_db", bench::Json::number(s.histogram.lo_db));
-  hist.set("hi_db", bench::Json::number(s.histogram.hi_db));
-  auto counts = bench::Json::array();
-  for (std::size_t c : s.histogram.counts)
-    counts.push(bench::Json::integer(static_cast<long>(c)));
-  hist.set("counts", std::move(counts));
-  o.set("margin_histogram_db", std::move(hist));
-  return o;
-}
-
-}  // namespace
+// The summary/margin JSON emitters moved into the sweep library
+// (sweep::summary_json / sweep::margin_json) so the example and RunReports
+// share the schema with this bench.
 
 int main(int argc, char** argv) {
   using namespace emc;
+  using bench::seconds_since;
+  using sweep::summary_json;
 
   bool smoke = false;
   std::size_t jobs = 8;
@@ -207,6 +152,7 @@ int main(int argc, char** argv) {
   doc.set("mean_corner_wall_s",
           bench::Json::number(wall_1 / static_cast<double>(grid.size())));
   doc.set("summary", summary_json(grid, outn.summary));
+  doc.set("workers", sweep::worker_stats_json(outn.workers));
 
   if (doc.write_file("BENCH_sweep.json")) std::printf("wrote BENCH_sweep.json\n");
 

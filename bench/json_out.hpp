@@ -7,186 +7,26 @@
 //     ...bench-specific extras...
 //   }
 //
-// Json is a tiny insertion-ordered value tree (object / array / string /
-// number / integer / bool); make_bench_doc() builds the standard skeleton
-// and scenario_row() the standard per-scenario row, to which callers may
-// attach extra fields before pushing.
+// The value tree itself is emc::obs::Json (the observability layer's
+// insertion-ordered JSON document — the same type RunReport and the trace
+// exporter use, with nesting, parsing and file I/O); this header only adds
+// the bench document conventions on top.
 #pragma once
 
 #include <chrono>
-#include <cstdio>
-#include <stdexcept>
 #include <string>
-#include <utility>
-#include <vector>
+
+#include "obs/json.hpp"
 
 namespace emc::bench {
+
+using Json = emc::obs::Json;
 
 /// Wall-clock seconds elapsed since `t0` (the wall_s convention every
 /// scenario row uses).
 inline double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
-
-class Json {
- public:
-  static Json object() { return Json(Kind::kObject); }
-  static Json array() { return Json(Kind::kArray); }
-  static Json string(std::string s) {
-    Json j(Kind::kString);
-    j.str_ = std::move(s);
-    return j;
-  }
-  static Json number(double v) {
-    Json j(Kind::kNumber);
-    j.num_ = v;
-    return j;
-  }
-  static Json integer(long v) {
-    Json j(Kind::kInteger);
-    j.int_ = v;
-    return j;
-  }
-  static Json boolean(bool v) {
-    Json j(Kind::kBool);
-    j.bool_ = v;
-    return j;
-  }
-
-  /// Object field (insertion-ordered). Returns *this for chaining.
-  Json& set(std::string key, Json v) {
-    require(Kind::kObject, "set");
-    fields_.emplace_back(std::move(key), std::move(v));
-    return *this;
-  }
-  /// Array element. Returns *this for chaining.
-  Json& push(Json v) {
-    require(Kind::kArray, "push");
-    items_.push_back(std::move(v));
-    return *this;
-  }
-
-  /// Mutable access to an existing object field (e.g. the "scenarios"
-  /// array of a make_bench_doc() document). Throws if absent.
-  Json& at(const std::string& key) {
-    require(Kind::kObject, "at");
-    for (auto& [k, v] : fields_)
-      if (k == key) return v;
-    throw std::logic_error("Json: no field " + key);
-  }
-
-  std::string dump(int indent = 2) const {
-    std::string out;
-    emit(out, indent, 0);
-    out.push_back('\n');
-    return out;
-  }
-
-  /// Serialize to `path`; prints a warning and returns false on failure.
-  bool write_file(const std::string& path, int indent = 2) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "json_out: cannot write %s\n", path.c_str());
-      return false;
-    }
-    const std::string text = dump(indent);
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-    return true;
-  }
-
- private:
-  enum class Kind { kObject, kArray, kString, kNumber, kInteger, kBool };
-
-  explicit Json(Kind k) : kind_(k) {}
-
-  void require(Kind k, const char* op) const {
-    if (kind_ != k) throw std::logic_error(std::string("Json: bad ") + op);
-  }
-
-  static void escape(std::string& out, const std::string& s) {
-    out.push_back('"');
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out += buf;
-          } else {
-            out.push_back(c);
-          }
-      }
-    }
-    out.push_back('"');
-  }
-
-  void emit(std::string& out, int indent, int depth) const {
-    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
-    const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
-    char buf[64];
-    switch (kind_) {
-      case Kind::kObject: {
-        if (fields_.empty()) {
-          out += "{}";
-          return;
-        }
-        out += "{\n";
-        for (std::size_t i = 0; i < fields_.size(); ++i) {
-          out += pad;
-          escape(out, fields_[i].first);
-          out += ": ";
-          fields_[i].second.emit(out, indent, depth + 1);
-          if (i + 1 < fields_.size()) out.push_back(',');
-          out.push_back('\n');
-        }
-        out += close_pad + "}";
-        return;
-      }
-      case Kind::kArray: {
-        if (items_.empty()) {
-          out += "[]";
-          return;
-        }
-        out += "[\n";
-        for (std::size_t i = 0; i < items_.size(); ++i) {
-          out += pad;
-          items_[i].emit(out, indent, depth + 1);
-          if (i + 1 < items_.size()) out.push_back(',');
-          out.push_back('\n');
-        }
-        out += close_pad + "]";
-        return;
-      }
-      case Kind::kString:
-        escape(out, str_);
-        return;
-      case Kind::kNumber:
-        std::snprintf(buf, sizeof buf, "%.9g", num_);
-        out += buf;
-        return;
-      case Kind::kInteger:
-        std::snprintf(buf, sizeof buf, "%ld", int_);
-        out += buf;
-        return;
-      case Kind::kBool:
-        out += bool_ ? "true" : "false";
-        return;
-    }
-  }
-
-  Kind kind_;
-  std::string str_;
-  double num_ = 0.0;
-  long int_ = 0;
-  bool bool_ = false;
-  std::vector<std::pair<std::string, Json>> fields_;
-  std::vector<Json> items_;
-};
 
 /// Standard top-level bench document: {"bench": name, "scenarios": []}.
 /// Push scenario_row()s into "scenarios" and attach bench-specific extras

@@ -4,6 +4,12 @@
 // corner on a thread pool, and print the per-corner verdicts plus the
 // aggregated worst-margin statistics.
 //
+// The whole sweep runs under the emc::obs instrumentation layer: a Tracer
+// records sweep/corner/transient/newton_step spans into
+// corner_sweep.trace.json (open it in Perfetto or chrome://tracing), and a
+// structured RunReport with the solver statistics, worker utilization and
+// metric counters lands in corner_sweep.report.json.
+//
 //   example_corner_sweep [--jobs N]   (default: hardware concurrency)
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +18,9 @@
 #include "core/circuit_dut.hpp"
 #include "core/driver_estimator.hpp"
 #include "devices/reference_driver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sweep/sweep_runner.hpp"
 
 using namespace emc;
@@ -53,9 +62,19 @@ int main(int argc, char** argv) {
   cfg.rx.tau_discharge = 30e-9;
   cfg.mask = {"board-level mask", {{50e6, 140.0}, {5e9, 90.0}}};
 
+  // Scope the metrics to the sweep and trace every span site it passes.
+  obs::registry().reset();
+  obs::Tracer tracer;
+  tracer.install();
+
   sweep::SweepRunner runner(jobs);
-  const auto out = runner.run(grid, sweep::make_emission_corner_fn(cfg), {},
-                              sweep::emission_chunk_hint(grid));
+  const auto out = runner.run(
+      grid, sweep::make_emission_corner_fn(cfg), {}, sweep::emission_chunk_hint(grid),
+      [](std::size_t done, std::size_t total) {
+        std::printf("  corner %zu/%zu done\n", done, total);
+      });
+
+  tracer.uninstall();
 
   std::printf("\n%-60s %10s %s\n", "corner", "margin", "verdict");
   for (const auto& r : out.results)
@@ -74,5 +93,59 @@ int main(int argc, char** argv) {
                   s.axis_worst[a][k]);
     std::printf("\n");
   }
+
+  // Solver work actually spent, memo hits excluded (reused corners repeat
+  // the producing corner's stats).
+  ckt::SolveStats solve;
+  bool first = true;
+  std::size_t reused = 0;
+  for (const auto& r : out.results) {
+    if (r.transient_reused) {
+      ++reused;
+      continue;
+    }
+    if (first) {
+      solve = r.solve;
+      first = false;
+    } else {
+      solve.merge(r.solve);
+    }
+  }
+  std::printf("\ntransients: %zu run, %zu reused from the record memo\n",
+              out.results.size() - reused, reused);
+  std::printf("newton: %ld iterations over %ld steps (+%ld for DC), %ld restamps\n",
+              solve.total_newton_iters, solve.steps, solve.dc_newton_iters,
+              solve.restamps);
+  for (std::size_t w = 0; w < out.workers.size(); ++w) {
+    const auto& ws = out.workers[w];
+    const double total = static_cast<double>(ws.busy_ns + ws.idle_ns);
+    std::printf("worker %zu: %llu corners, %.0f%% busy\n", w,
+                static_cast<unsigned long long>(ws.items),
+                total > 0 ? 100.0 * static_cast<double>(ws.busy_ns) / total : 0.0);
+  }
+
+  const bool trace_written = tracer.write_chrome_trace("corner_sweep.trace.json");
+  if (trace_written)
+    std::printf("wrote corner_sweep.trace.json (%zu spans from %zu threads)\n",
+                tracer.events().size(), tracer.threads());
+
+  obs::RunReport report("corner_sweep");
+  report.set("config", "jobs", static_cast<long>(jobs));
+  report.set("config", "corners", static_cast<long>(grid.size()));
+  report.set("solver", "kind",
+             std::string(solve.used_sparse == 1   ? "sparse"
+                         : solve.used_sparse == 0 ? "dense"
+                                                  : "mixed"));
+  report.set("solver", "newton_iters", solve.total_newton_iters);
+  report.set("solver", "dc_newton_iters", solve.dc_newton_iters);
+  report.set("solver", "steps", solve.steps);
+  report.set("solver", "restamps", solve.restamps);
+  report.set("sweep", "summary", sweep::summary_json(grid, out.summary));
+  report.set("sweep", "transients_reused", static_cast<long>(reused));
+  report.set("workers", "pool", sweep::worker_stats_json(out.workers));
+  report.add_metrics(obs::registry().snapshot());
+  report.add_trace_summary(tracer, trace_written ? "corner_sweep.trace.json" : "");
+  if (report.write("corner_sweep.report.json"))
+    std::printf("wrote corner_sweep.report.json\n");
   return 0;
 }

@@ -7,6 +7,8 @@
 
 #include "circuit/newton.hpp"
 #include "linalg/decomp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace emc::ckt {
 
@@ -81,6 +83,15 @@ TransientResult run_transient(Circuit& ckt, const TransientOptions& opt,
 SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
                                   NewtonWorkspace& ws, std::span<const int> probes,
                                   sig::SampleSink& sink, std::size_t chunk_frames) {
+  static const obs::Counter c_runs("ckt.transient.runs");
+  static const obs::Counter c_steps("ckt.transient.steps");
+  static const obs::Counter c_iters("ckt.newton.iters");
+  static const obs::Counter c_weak("ckt.newton.weak_steps");
+  static const obs::Counter c_sparse_runs("ckt.transient.sparse_runs");
+  static const obs::Counter c_dense_runs("ckt.transient.dense_runs");
+  static const obs::Histogram h_step_iters("ckt.newton.iters_per_step");
+  obs::Span span("transient");
+
   if (opt.t_stop <= opt.t_start)
     throw std::invalid_argument("run_transient: t_stop must exceed t_start");
   if (opt.dt <= 0.0) throw std::invalid_argument("run_transient: dt must be positive");
@@ -104,8 +115,9 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
     ws.invalidate();
   const bool linear = detail::circuit_is_linear(ckt);
 
+  SolveStats stats;
   if (opt.dc_start) {
-    detail::dc_operating_point_impl(ckt, ws, linear, x, opt);
+    detail::dc_operating_point_impl(ckt, ws, linear, x, opt, &stats);
     SimState st{x, x, opt.t_start, 0.0, true, 1.0};
     for (const auto& dev : ckt.devices()) dev->post_dc(st);
   }
@@ -139,12 +151,12 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
     }
   };
 
-  SolveStats stats;
   stage_frame();  // frame 0: the state at t_start
 
   std::vector<double> x_prev = x;
   for (std::size_t k = 1; k <= n_steps; ++k) {
     const double t = opt.t_start + opt.dt * static_cast<double>(k);
+    obs::Span step_span("newton_step");
 
     {
       SimState st{x_prev, x_prev, t, opt.dt, false, 1.0};
@@ -152,8 +164,10 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
     }
 
     x = x_prev;  // warm start
+    const long iters_before = stats.total_newton_iters;
     const bool ok = detail::newton_solve(ckt, ws, linear, x, x_prev, t, opt.dt, false, 1.0,
-                                         opt, &stats.total_newton_iters);
+                                         opt, &stats);
+    h_step_iters.record(static_cast<std::uint64_t>(stats.total_newton_iters - iters_before));
     if (!ok) {
       // Accept weakly converged steps (common right on a switching edge);
       // a genuinely diverged solve produces NaNs that we reject.
@@ -179,6 +193,13 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
     sink.consume(chunk);
   }
   sink.finish();
+
+  stats.used_sparse = ws.sp_tr.use_sparse == 1 ? 1 : 0;
+  c_runs.add();
+  c_steps.add(static_cast<std::uint64_t>(stats.steps));
+  c_iters.add(static_cast<std::uint64_t>(stats.total_newton_iters));
+  c_weak.add(static_cast<std::uint64_t>(stats.weak_steps));
+  (stats.used_sparse == 1 ? c_sparse_runs : c_dense_runs).add();
   return stats;
 }
 

@@ -130,6 +130,26 @@ struct SolveStats {
   long total_newton_iters = 0;
   long steps = 0;
   long weak_steps = 0;  ///< steps accepted at loose tolerance (diagnostic)
+
+  // Observability extensions (filled by the engine; zero-cost to carry).
+  long restamps = 0;         ///< sparse pattern-growth retries (state-dependent structure)
+  long dc_newton_iters = 0;  ///< Newton iterations spent on the operating point
+  long dc_gmin_stages = 0;   ///< gmin continuation stages attempted
+  long dc_source_steps = 0;  ///< source-stepping stages attempted (0 = not needed)
+  int used_sparse = -1;      ///< transient backend: 1 sparse, 0 dense, -1 unknown
+
+  /// Fold another run's statistics into this one (backend: keep when
+  /// equal, -1 when mixed or unknown).
+  void merge(const SolveStats& o) {
+    total_newton_iters += o.total_newton_iters;
+    steps += o.steps;
+    weak_steps += o.weak_steps;
+    restamps += o.restamps;
+    dc_newton_iters += o.dc_newton_iters;
+    dc_gmin_stages += o.dc_gmin_stages;
+    dc_source_steps += o.dc_source_steps;
+    if (used_sparse != o.used_sparse) used_sparse = -1;
+  }
 };
 
 /// Full solution record of a transient run. Storage is one contiguous

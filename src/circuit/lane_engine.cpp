@@ -7,6 +7,8 @@
 
 #include "circuit/newton.hpp"
 #include "circuit/stampers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace emc::ckt {
 
@@ -15,6 +17,12 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
                                  std::span<const int> probes,
                                  std::span<sig::SampleSink* const> sinks,
                                  std::size_t chunk_frames) {
+  static const obs::Counter c_runs("ckt.lanes.runs");
+  static const obs::Counter c_lanes("ckt.lanes.lanes");
+  static const obs::Counter c_batched_walk("ckt.lanes.batched_walk_entries");
+  static const obs::Counter c_scalar_walk("ckt.lanes.scalar_walk_entries");
+  obs::Span span("lane_batch");
+
   const std::size_t L = lanes.size();
   if (L == 0) throw std::invalid_argument("run_transient_lanes: no lanes");
   if (sinks.size() != L)
@@ -60,7 +68,8 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
   if (opt.dc_start) {
     for (std::size_t l = 0; l < L; ++l) {
       ws.scalar.invalidate();
-      detail::dc_operating_point_impl(*lanes[l], ws.scalar, linear, x[l], opt);
+      detail::dc_operating_point_impl(*lanes[l], ws.scalar, linear, x[l], opt,
+                                      &stats.lanes[l]);
       SimState st{x[l], x[l], opt.t_start, 0.0, true, 1.0};
       for (const auto& dev : lanes[l]->devices()) dev->post_dc(st);
     }
@@ -256,6 +265,12 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
     }
   }
   for (sig::SampleSink* s : sinks) s->finish();
+
+  for (SolveStats& s : stats.lanes) s.used_sparse = 1;  // lane batching is sparse-only
+  c_runs.add();
+  c_lanes.add(L);
+  c_batched_walk.add(static_cast<std::uint64_t>(stats.batched_walk_entries));
+  c_scalar_walk.add(static_cast<std::uint64_t>(stats.scalar_walk_entries));
   return stats;
 }
 

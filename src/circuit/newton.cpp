@@ -7,6 +7,8 @@
 #include <string>
 
 #include "circuit/stampers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace emc::ckt::detail {
 
@@ -60,7 +62,8 @@ SparseSystem* resolve_sparse(Circuit& ckt, NewtonWorkspace& ws, const SimState& 
 
 bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<double>& x,
                   const std::vector<double>& x_prev, double t, double dt, bool dc,
-                  double src_scale, const TransientOptions& opt, long* iter_count) {
+                  double src_scale, const TransientOptions& opt, SolveStats* stats) {
+  static const obs::Counter c_restamps("ckt.newton.restamps");
   const std::size_t n = x.size();
 
   SparseSystem* sys;
@@ -93,6 +96,8 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
       // structure): grow the pattern by the missed positions and retry.
       if (attempt >= 3)
         throw std::runtime_error("newton_solve: sparse pattern failed to stabilize");
+      if (stats) ++stats->restamps;
+      c_restamps.add();
       sys->coords.insert(sys->coords.end(), st.missed().begin(), st.missed().end());
       sys->pattern = linalg::SparsePattern::build(n, sys->coords);
       sys->a.set_pattern(&sys->pattern, 1);
@@ -108,11 +113,12 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
     // so factor once per configuration and reuse the factors for every
     // step. The single solve is exact; no damping loop is needed.
     assemble();
-    if (iter_count) ++(*iter_count);
+    if (stats) ++stats->total_newton_iters;
     if (sys) {
       if (!sys->num_cached || sys->key_dt != dt || sys->key_dc != dc ||
           sys->key_gmin != opt.gmin) {
         try {
+          obs::Span sp_factor("factor");
           sys->lu.factor(sys->a);
         } catch (const std::runtime_error&) {
           sys->num_cached = false;
@@ -128,6 +134,7 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
     } else {
       if (!ws.lu_cached || ws.lu_dt != dt || ws.lu_dc != dc || ws.lu_gmin != opt.gmin) {
         try {
+          obs::Span sp_factor("factor");
           ws.lu.factor(ws.g);
         } catch (const std::runtime_error&) {
           ws.lu_cached = false;
@@ -146,9 +153,10 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
   }
 
   for (int it = 0; it < opt.max_newton; ++it) {
-    if (iter_count) ++(*iter_count);
+    if (stats) ++stats->total_newton_iters;
     assemble();
     try {
+      obs::Span sp_factor("factor");
       if (sys)
         sys->lu.factor(sys->a);
       else
@@ -185,7 +193,34 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
 }
 
 void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
-                             std::vector<double>& x, const TransientOptions& opt) {
+                             std::vector<double>& x, const TransientOptions& opt,
+                             SolveStats* stats) {
+  static const obs::Counter c_runs("ckt.dc.runs");
+  static const obs::Counter c_iters("ckt.dc.newton_iters");
+  static const obs::Counter c_gmin("ckt.dc.gmin_stages");
+  static const obs::Counter c_src("ckt.dc.source_steps");
+  obs::Span span("dc");
+  c_runs.add();
+
+  // Local tally, folded into `stats` and the counters on every exit path —
+  // the continuation history matters most when the solve throws.
+  SolveStats local;
+  struct Fold {
+    SolveStats& l;
+    SolveStats* out;
+    ~Fold() {
+      c_iters.add(static_cast<std::uint64_t>(l.total_newton_iters));
+      c_gmin.add(static_cast<std::uint64_t>(l.dc_gmin_stages));
+      c_src.add(static_cast<std::uint64_t>(l.dc_source_steps));
+      if (out) {
+        out->dc_newton_iters += l.total_newton_iters;
+        out->restamps += l.restamps;
+        out->dc_gmin_stages += l.dc_gmin_stages;
+        out->dc_source_steps += l.dc_source_steps;
+      }
+    }
+  } fold{local, stats};
+
   const std::vector<double> zeros(x.size(), 0.0);
 
   // Divergence here is diagnosed from sweep logs where the circuit is long
@@ -203,8 +238,9 @@ void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
     o.gmin = std::max(gmin, opt.gmin);
     o.max_newton = 200;
     note(o.gmin);
+    ++local.dc_gmin_stages;
     if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, /*dc=*/true, 1.0, o,
-                      nullptr)) {
+                      &local)) {
       // Restart the continuation with source stepping below.
       attempted += " (diverged)";
       break;
@@ -223,13 +259,14 @@ void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
     o.max_newton = 300;
     o.gmin = 1e-9;
     note(scale);
-    if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, scale, o, nullptr))
+    ++local.dc_source_steps;
+    if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, scale, o, &local))
       throw std::runtime_error("dc_operating_point: no convergence at source scale " +
                                std::to_string(scale) + " [attempted " + attempted + "]");
   }
   TransientOptions o = opt;
   o.max_newton = 300;
-  if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, 1.0, o, nullptr))
+  if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, 1.0, o, &local))
     throw std::runtime_error("dc_operating_point: final polish failed [attempted " +
                              attempted + "]");
 }

@@ -21,15 +21,19 @@ std::vector<linalg::SparseCoord> stamp_pattern(Circuit& ckt, const SimState& sta
 /// (t, dt, dc, src_scale) configuration, through the backend
 /// opt.solver resolves to for this mode. Returns true on convergence;
 /// x holds the solution (or the last iterate on failure). All scratch
-/// lives in `ws`: steady-state calls perform no heap allocation.
+/// lives in `ws`: steady-state calls perform no heap allocation. When
+/// `stats` is non-null, total_newton_iters and restamps accumulate into
+/// it (callers decide which bucket DC iterations land in).
 bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<double>& x,
                   const std::vector<double>& x_prev, double t, double dt, bool dc,
-                  double src_scale, const TransientOptions& opt, long* iter_count);
+                  double src_scale, const TransientOptions& opt, SolveStats* stats);
 
 /// DC operating point with gmin continuation and source stepping; throws
 /// std::runtime_error (including the schedule attempted) when everything
-/// fails.
+/// fails. When `stats` is non-null, fills dc_newton_iters /
+/// dc_gmin_stages / dc_source_steps (and restamps).
 void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
-                             std::vector<double>& x, const TransientOptions& opt);
+                             std::vector<double>& x, const TransientOptions& opt,
+                             SolveStats* stats = nullptr);
 
 }  // namespace emc::ckt::detail

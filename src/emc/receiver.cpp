@@ -8,6 +8,8 @@
 
 #include "emc/fft.hpp"
 #include "emc/spectrum.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace emc::spec {
 
@@ -171,6 +173,12 @@ void EmiScanner::demod_zoom_block(const ScanCtx& c, const PointTask* tasks,
 }
 
 EmiScan EmiScanner::scan(const sig::Waveform& w, const ReceiverSettings& s) {
+  static const obs::Counter c_scans("spec.scan.runs");
+  static const obs::Counter c_zoom("spec.scan.zoom_points");
+  static const obs::Counter c_ref("spec.scan.reference_points");
+  static const obs::Counter c_skipped("spec.scan.skipped_points");
+  obs::Span span("scan");
+
   const std::size_t n = w.size();
   if (n < 4) throw std::invalid_argument("emi_scan: record too short");
   if (!(s.f_start > 0.0 && s.f_stop > s.f_start))
@@ -264,6 +272,7 @@ EmiScan EmiScanner::scan(const sig::Waveform& w, const ReceiverSettings& s) {
     const std::size_t n_env = zoom_len(tasks_[i]);
     if (n_env == 0) {
       readings_[i] = demod_reference(c, tasks_[i]);
+      ++out.reference_points;
       ++i;
       continue;
     }
@@ -272,6 +281,7 @@ EmiScan EmiScanner::scan(const sig::Waveform& w, const ReceiverSettings& s) {
     std::size_t j = i + 1;
     while (j < tasks_.size() && j - i < kMaxBlock && zoom_len(tasks_[j]) == n_env) ++j;
     demod_zoom_block(c, tasks_.data() + i, j - i, n_env, readings_.data() + i);
+    out.zoom_points += j - i;
     i = j;
   }
 
@@ -283,6 +293,11 @@ EmiScan EmiScanner::scan(const sig::Waveform& w, const ReceiverSettings& s) {
     out.quasi_peak_dbuv.push_back(volts_to_dbuv(readings_[p].qp / std::numbers::sqrt2));
     out.average_dbuv.push_back(volts_to_dbuv(readings_[p].avg / std::numbers::sqrt2));
   }
+
+  c_scans.add();
+  c_zoom.add(out.zoom_points);
+  c_ref.add(out.reference_points);
+  c_skipped.add(out.skipped_points);
   return out;
 }
 

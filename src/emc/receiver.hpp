@@ -72,6 +72,12 @@ struct EmiScan {
   /// this scan must surface it, or a truncated scan can false-PASS a mask.
   std::size_t skipped_points = 0;
 
+  /// How each measured point was demodulated (zoom_points +
+  /// reference_points + points whose RBW window covered no bin ==
+  /// freq.size()) — the per-scan record of the zoom-vs-reference decision.
+  std::size_t zoom_points = 0;
+  std::size_t reference_points = 0;
+
   std::size_t size() const { return freq.size(); }
 };
 

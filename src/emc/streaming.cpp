@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace emc::spec {
 
 // ------------------------------------------------------------ SegmentBuffer
@@ -49,6 +51,10 @@ void WelchAccumulator::push(std::span<const double> x) {
       acc_[k] += std::norm(bins_[k]) * scale * (paired ? 2.0 : 1.0);
     }
     ++n_segments_;
+    static const obs::Counter c_segments("spec.welch.segments");
+    static const obs::Gauge g_bytes("spec.welch.state_bytes_peak");
+    c_segments.add();
+    g_bytes.set_max(state_bytes());
   });
 }
 
@@ -95,6 +101,10 @@ void SegmentedEmiAccumulator::measure(std::span<const double> seg) {
       t0_ + dt_ * static_cast<double>(assembler_.next_segment_start());
   sig::Waveform w(t_seg, dt_, std::vector<double>(seg.begin(), seg.end()));
   const EmiScan scan = scanner_.scan(w, opt_.rx);
+  static const obs::Counter c_segments("spec.stream.segments");
+  static const obs::Gauge g_bytes("spec.stream.state_bytes_peak");
+  c_segments.add();
+  g_bytes.set_max(state_bytes());
 
   if (n_segments_ == 0) {
     freq_ = scan.freq;

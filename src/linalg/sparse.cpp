@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace emc::linalg {
 
 namespace {
@@ -258,15 +260,20 @@ void SparseLu::analyze(const SparsePattern& p) {
   analyzed_ = true;
   valid_ = false;
   ++stats_.analyses;
+  static const obs::Counter c_analyses("linalg.sparselu.analyses");
+  c_analyses.add();
 }
 
 void SparseLu::factor(const SparseMatrix& a) {
   const SparsePattern* p = a.pattern();
   if (!p) throw std::invalid_argument("SparseLu::factor: matrix has no pattern");
-  if (!analyzed_ || hash_ != p->hash())
+  static const obs::Counter c_reuses("linalg.sparselu.symbolic_reuses");
+  if (!analyzed_ || hash_ != p->hash()) {
     analyze(*p);
-  else
+  } else {
     ++stats_.symbolic_reuses;
+    c_reuses.add();
+  }
 
   const std::size_t n = n_;
   const std::size_t L = a.lanes();
@@ -330,6 +337,10 @@ void SparseLu::factor(const SparseMatrix& a) {
 
   ++stats_.refactors;
   stats_.walk_entries += factor_walk_;
+  static const obs::Counter c_refactors("linalg.sparselu.refactors");
+  static const obs::Counter c_walk("linalg.sparselu.walk_entries");
+  c_refactors.add();
+  c_walk.add(factor_walk_);
 
   // Lanes whose static pivots went bad are redone densely (partial
   // pivoting) for this call only; a genuinely singular lane throws, same
@@ -339,6 +350,8 @@ void SparseLu::factor(const SparseMatrix& a) {
     if (healthy[t]) continue;
     lane_dense_[t] = 1;
     ++stats_.dense_fallback_lanes;
+    static const obs::Counter c_fallback("linalg.sparselu.dense_fallback_lanes");
+    c_fallback.add();
     dense_[t].factor(a.to_dense(t));
   }
   valid_ = true;
@@ -357,6 +370,10 @@ void SparseLu::solve_lanes_in_place(std::span<double> b) const {
   if (b.size() != n * L) throw std::invalid_argument("SparseLu::solve: size mismatch");
   ++stats_.solves;
   stats_.walk_entries += solve_walk_;
+  static const obs::Counter c_solves("linalg.sparselu.solves");
+  static const obs::Counter c_walk("linalg.sparselu.walk_entries");
+  c_solves.add();
+  c_walk.add(solve_walk_);
 
   // Permute into elimination order first; dense-fallback lanes can then
   // overwrite b directly while the batched kernel works on the copy.

@@ -1,0 +1,212 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace emc::obs {
+
+namespace {
+
+/// Shard slots a metric occupies: histograms pack buckets + sum + max.
+std::size_t slot_width(MetricKind k) {
+  return k == MetricKind::kHistogram ? kHistogramBuckets + 2 : 1;
+}
+
+std::size_t bucket_of(std::uint64_t sample) {
+  return std::min<std::size_t>(std::bit_width(sample), kHistogramBuckets - 1);
+}
+
+std::atomic<std::uint64_t> g_generation{1};
+
+}  // namespace
+
+/// One thread's slot array. Only the owning thread writes; snapshots read
+/// with relaxed loads under the registry mutex (which also serializes
+/// against the owner growing the array).
+struct MetricRegistry::Shard {
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+  std::size_t cap = 0;
+
+  void grow(std::size_t need) {
+    auto bigger = std::make_unique<std::atomic<std::uint64_t>[]>(need);
+    for (std::size_t i = 0; i < need; ++i)
+      bigger[i].store(i < cap ? slots[i].load(std::memory_order_relaxed) : 0,
+                      std::memory_order_relaxed);
+    slots = std::move(bigger);
+    cap = need;
+  }
+};
+
+namespace {
+
+/// Per-thread cache mapping registries to their shard for this thread.
+/// Entries are validated by (address, generation) so a registry destroyed
+/// and reallocated at the same address can never alias a stale shard.
+struct TlsEntry {
+  const void* reg = nullptr;
+  std::uint64_t gen = 0;
+  MetricRegistry::Shard* shard = nullptr;
+};
+thread_local std::vector<TlsEntry> tls_shards;
+
+}  // namespace
+
+MetricRegistry::MetricRegistry()
+    : generation_(g_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricRegistry::~MetricRegistry() = default;
+
+MetricId MetricRegistry::reg(const std::string& name, MetricKind kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::uint32_t i = 0; i < metas_.size(); ++i) {
+    if (metas_[i].name == name) {
+      if (metas_[i].kind != kind)
+        throw std::logic_error("MetricRegistry: kind mismatch re-registering " + name);
+      return {metas_[i].slot, i};
+    }
+  }
+  const MetricId id{next_slot_, static_cast<std::uint32_t>(metas_.size())};
+  metas_.push_back({name, kind, next_slot_});
+  next_slot_ += static_cast<std::uint32_t>(slot_width(kind));
+  return id;
+}
+
+MetricRegistry::Shard& MetricRegistry::local_shard() {
+  for (TlsEntry& e : tls_shards)
+    if (e.reg == this && e.gen == generation_) return *e.shard;
+  std::lock_guard<std::mutex> lk(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* s = shards_.back().get();
+  s->grow(std::max<std::size_t>(next_slot_, 64));
+  tls_shards.push_back({this, generation_, s});
+  return *s;
+}
+
+std::atomic<std::uint64_t>* MetricRegistry::slots_for(MetricId id, std::size_t width) {
+  Shard& s = local_shard();
+  if (id.slot + width > s.cap) {
+    // Metrics registered after this shard was created: grow under the
+    // registry lock (serializes against snapshots reading the old array).
+    std::lock_guard<std::mutex> lk(mu_);
+    s.grow(std::max<std::size_t>(next_slot_, id.slot + width));
+  }
+  return s.slots.get() + id.slot;
+}
+
+void MetricRegistry::add(MetricId id, std::uint64_t v) {
+  if (!enabled()) return;
+  slots_for(id, 1)->fetch_add(v, std::memory_order_relaxed);
+}
+
+void MetricRegistry::set_max(MetricId id, std::uint64_t v) {
+  if (!enabled()) return;
+  std::atomic<std::uint64_t>* s = slots_for(id, 1);
+  // Owner-only write: a plain raise needs no compare-exchange loop.
+  if (v > s->load(std::memory_order_relaxed)) s->store(v, std::memory_order_relaxed);
+}
+
+void MetricRegistry::record(MetricId id, std::uint64_t sample) {
+  if (!enabled()) return;
+  std::atomic<std::uint64_t>* s = slots_for(id, kHistogramBuckets + 2);
+  s[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+  s[kHistogramBuckets].fetch_add(sample, std::memory_order_relaxed);
+  std::atomic<std::uint64_t>& mx = s[kHistogramBuckets + 1];
+  if (sample > mx.load(std::memory_order_relaxed))
+    mx.store(sample, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot snap;
+  snap.rows.reserve(metas_.size());
+  for (const Meta& m : metas_) {
+    MetricRow row;
+    row.name = m.name;
+    row.kind = m.kind;
+    const std::size_t width = slot_width(m.kind);
+    if (m.kind == MetricKind::kHistogram) row.buckets.assign(kHistogramBuckets, 0);
+    for (const auto& sp : shards_) {
+      if (m.slot + width > sp->cap) continue;  // shard predates this metric
+      const auto* s = sp->slots.get() + m.slot;
+      switch (m.kind) {
+        case MetricKind::kCounter:
+          row.value += s[0].load(std::memory_order_relaxed);
+          break;
+        case MetricKind::kGauge:
+          row.value = std::max(row.value, s[0].load(std::memory_order_relaxed));
+          break;
+        case MetricKind::kHistogram: {
+          for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            const std::uint64_t c = s[b].load(std::memory_order_relaxed);
+            row.buckets[b] += c;
+            row.value += c;
+          }
+          row.sum += s[kHistogramBuckets].load(std::memory_order_relaxed);
+          row.max =
+              std::max(row.max, s[kHistogramBuckets + 1].load(std::memory_order_relaxed));
+          break;
+        }
+      }
+    }
+    snap.rows.push_back(std::move(row));
+  }
+  // Registration order differs across runs when threads race to register;
+  // name order makes the snapshot (and every report built from it)
+  // deterministic.
+  std::sort(snap.rows.begin(), snap.rows.end(),
+            [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
+  return snap;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& sp : shards_)
+    for (std::size_t i = 0; i < sp->cap; ++i)
+      sp->slots[i].store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry& registry() {
+  static MetricRegistry* g = new MetricRegistry();  // immortal: never destroyed
+  return *g;
+}
+
+const MetricRow* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricRow& r : rows)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::value(const std::string& name) const {
+  const MetricRow* r = find(name);
+  return r ? r->value : 0;
+}
+
+Json MetricsSnapshot::to_json() const {
+  Json o = Json::object();
+  for (const MetricRow& r : rows) {
+    if (r.kind == MetricKind::kHistogram) {
+      Json h = Json::object();
+      h.set("count", Json::integer(static_cast<long>(r.value)));
+      h.set("sum", Json::integer(static_cast<long>(r.sum)));
+      h.set("max", Json::integer(static_cast<long>(r.max)));
+      if (r.value > 0)
+        h.set("mean", Json::number(static_cast<double>(r.sum) / static_cast<double>(r.value)));
+      Json buckets = Json::array();
+      // Trailing empty buckets carry no information; stop at the last
+      // occupied one so small histograms stay readable.
+      std::size_t last = 0;
+      for (std::size_t b = 0; b < r.buckets.size(); ++b)
+        if (r.buckets[b] > 0) last = b + 1;
+      for (std::size_t b = 0; b < last; ++b)
+        buckets.push(Json::integer(static_cast<long>(r.buckets[b])));
+      h.set("pow2_buckets", std::move(buckets));
+      o.set(r.name, std::move(h));
+    } else {
+      o.set(r.name, Json::integer(static_cast<long>(r.value)));
+    }
+  }
+  return o;
+}
+
+}  // namespace emc::obs

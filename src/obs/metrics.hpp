@@ -1,0 +1,172 @@
+// Low-overhead metric registry: named counters / gauges / histograms with
+// thread-local sharding and a deterministic merge.
+//
+// Write path: each recording thread owns one shard per registry (a flat
+// array of relaxed atomic slots, created on first use), so a hot-path
+// increment is a thread-local lookup plus one relaxed fetch_add on memory
+// no other thread writes — no locks, no contention, no perturbation of
+// the computation being measured. A process-wide kill switch
+// (set_enabled) turns every record call into a load+branch, which is what
+// the bit-identity and overhead gates compare against.
+//
+// Read path: snapshot() locks the registry, sums every metric across
+// shards and returns the rows sorted by name. All merge operations are
+// exact integer sums or maxima, so a snapshot is a deterministic function
+// of what was recorded, independent of thread scheduling or shard count.
+//
+// Merge semantics per kind:
+//   counter   — monotonic event count; shards sum.
+//   gauge     — high-watermark (set_max); shards merge by max. Suited to
+//               peaks (bytes held, ring occupancy), the only gauge
+//               semantics with a scheduling-independent merge.
+//   histogram — power-of-two buckets of a u64 sample plus exact count /
+//               sum / max; all fields sum- or max-merge.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace emc::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Buckets of a histogram metric: bucket b counts samples whose bit width
+/// is b (bucket 0 holds the value 0, bucket b>0 holds [2^(b-1), 2^b)),
+/// clamped into the last bucket.
+inline constexpr std::size_t kHistogramBuckets = 32;
+
+/// Opaque handle to a registered metric; cheap to copy, valid for the
+/// registry's lifetime.
+struct MetricId {
+  std::uint32_t slot = 0;   ///< first shard slot
+  std::uint32_t index = 0;  ///< row index in the registry
+};
+
+/// One merged metric row of a snapshot.
+struct MetricRow {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;  ///< counter sum / gauge max / histogram count
+  // Histogram extras (zero for other kinds).
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Deterministic merged view of a registry: rows sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricRow> rows;
+
+  /// Row by name, nullptr when absent.
+  const MetricRow* find(const std::string& name) const;
+  /// Counter/gauge value (histogram: count) by name; 0 when absent.
+  std::uint64_t value(const std::string& name) const;
+
+  /// {"name": value, ...} for counters/gauges; histograms expand to an
+  /// object with count/sum/max/mean and the non-empty buckets.
+  Json to_json() const;
+};
+
+class MetricRegistry {
+ public:
+  struct Shard;  ///< opaque per-thread slot array (defined in metrics.cpp)
+
+  MetricRegistry();
+  ~MetricRegistry();
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Register (or look up — registration is idempotent by name) a metric.
+  /// Registration takes a lock; do it once and keep the id (the
+  /// obs::Counter/Gauge/Histogram handles cache one in a static).
+  /// Re-registering a name with a different kind throws std::logic_error.
+  MetricId counter(const std::string& name) { return reg(name, MetricKind::kCounter); }
+  MetricId gauge(const std::string& name) { return reg(name, MetricKind::kGauge); }
+  MetricId histogram(const std::string& name) { return reg(name, MetricKind::kHistogram); }
+
+  /// Counter add / histogram sample. One relaxed fetch_add (a handful for
+  /// histograms) on this thread's shard; no-op while disabled.
+  void add(MetricId id, std::uint64_t v = 1);
+  void record(MetricId id, std::uint64_t sample);  ///< histogram sample
+  /// Gauge high-watermark: raises this thread's slot to at least v.
+  void set_max(MetricId id, std::uint64_t v);
+
+  /// Merge every shard into sorted rows. Safe while writers are active
+  /// (relaxed loads observe each slot atomically); values recorded
+  /// concurrently with the snapshot may or may not be included.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every shard slot (metric names stay registered). Tests and
+  /// benches use this to scope an epoch; concurrent writers race the
+  /// zeroing, so quiesce first.
+  void reset();
+
+  /// Process-wide kill switch for the record paths (registration and
+  /// snapshots still work). The disabled path is what the "no-obs"
+  /// bit-identity and overhead gates run.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  MetricId reg(const std::string& name, MetricKind kind);
+  Shard& local_shard();
+  std::atomic<std::uint64_t>* slots_for(MetricId id, std::size_t width);
+
+  struct Meta {
+    std::string name;
+    MetricKind kind;
+    std::uint32_t slot;
+  };
+
+  const std::uint64_t generation_;  ///< distinguishes registries reusing an address
+  std::atomic<bool> enabled_{true};
+
+  mutable std::mutex mu_;  ///< guards metas_, shards_, slot growth
+  std::vector<Meta> metas_;
+  std::uint32_t next_slot_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// The process-global registry every built-in instrumentation site uses.
+MetricRegistry& registry();
+
+/// Static-friendly handles over the global registry:
+///
+///   static const obs::Counter c("ckt.newton.iters");
+///   c.add();
+class Counter {
+ public:
+  explicit Counter(const std::string& name) : id_(registry().counter(name)) {}
+  void add(std::uint64_t v = 1) const { registry().add(id_, v); }
+
+ private:
+  MetricId id_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const std::string& name) : id_(registry().gauge(name)) {}
+  void set_max(std::uint64_t v) const { registry().set_max(id_, v); }
+
+ private:
+  MetricId id_;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const std::string& name) : id_(registry().histogram(name)) {}
+  void record(std::uint64_t sample) const { registry().record(id_, sample); }
+
+ private:
+  MetricId id_;
+};
+
+}  // namespace emc::obs

@@ -1,0 +1,49 @@
+#include "obs/report.hpp"
+
+namespace emc::obs {
+
+RunReport::RunReport(std::string name) : doc_(Json::object()) {
+  doc_.set("report", Json::string(std::move(name)));
+  doc_.set("schema_version", Json::integer(1));
+}
+
+Json& RunReport::section(const std::string& key) {
+  if (Json* existing = doc_.find(key)) return *existing;
+  doc_.set(key, Json::object());
+  return doc_.at(key);
+}
+
+void RunReport::set(const std::string& sec, const std::string& field, Json v) {
+  section(sec).set(field, std::move(v));
+}
+void RunReport::set(const std::string& sec, const std::string& field, double v) {
+  section(sec).set(field, Json::number(v));
+}
+void RunReport::set(const std::string& sec, const std::string& field, long v) {
+  section(sec).set(field, Json::integer(v));
+}
+void RunReport::set(const std::string& sec, const std::string& field, const std::string& v) {
+  section(sec).set(field, Json::string(v));
+}
+void RunReport::set(const std::string& sec, const std::string& field, bool v) {
+  section(sec).set(field, Json::boolean(v));
+}
+
+void RunReport::add_metrics(const MetricsSnapshot& snap) {
+  section("metrics") = snap.to_json();
+}
+
+void RunReport::add_trace_summary(const Tracer& tracer, const std::string& trace_file) {
+  Json& t = section("trace");
+  t = Json::object();
+  t.set("threads", Json::integer(static_cast<long>(tracer.threads())));
+  t.set("events", Json::integer(static_cast<long>(tracer.events().size())));
+  t.set("dropped_events", Json::integer(static_cast<long>(tracer.dropped())));
+  if (!trace_file.empty()) t.set("file", Json::string(trace_file));
+}
+
+Json RunReport::to_json() const { return doc_; }
+
+bool RunReport::write(const std::string& path) const { return doc_.write_file(path); }
+
+}  // namespace emc::obs

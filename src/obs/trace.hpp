@@ -1,0 +1,113 @@
+// Scoped span tracing with per-thread ring buffers and a Chrome trace
+// event exporter.
+//
+// A Span is an RAII scope marker: constructing one records a start
+// timestamp, destroying it appends a completed event (name, thread, start,
+// duration, nesting depth) to the current thread's ring buffer inside the
+// installed Tracer. When no Tracer is installed the constructor is one
+// relaxed atomic load and a branch — hot paths (per Newton step, per
+// factorization) keep their spans unconditionally and pay nothing in
+// production.
+//
+// Each thread writes only its own ring, so concurrent spans from sweep
+// workers need no synchronization on the record path. Rings are
+// fixed-capacity: overflow overwrites the oldest event and counts the
+// drop, bounding trace memory for arbitrarily long runs (the newest
+// events — usually the interesting tail — survive).
+//
+// Export: write_chrome_trace() emits the Trace Event Format JSON
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// that chrome://tracing and Perfetto (ui.perfetto.dev) open directly.
+// Export after the traced work quiesces: it walks every ring.
+//
+// Lifetime contract: the Tracer must outlive every Span recorded into it
+// (install around whole program phases, uninstall only after joining the
+// threads that traced). Only one Tracer can be installed at a time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace emc::obs {
+
+/// One completed span. `name` must point at storage outliving the Tracer
+/// (span sites pass string literals).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;   ///< dense per-tracer thread index, 0 = first thread seen
+  std::uint32_t depth = 0; ///< nesting depth within its thread (0 = top level)
+  std::int64_t ts_ns = 0;  ///< start, relative to the tracer's epoch
+  std::int64_t dur_ns = 0;
+};
+
+class Tracer {
+ public:
+  struct ThreadRing;  ///< opaque per-thread event ring (defined in trace.cpp)
+
+  /// `ring_capacity` events are retained per thread; older events beyond
+  /// that are dropped oldest-first and counted.
+  explicit Tracer(std::size_t ring_capacity = 1 << 16);
+  ~Tracer();  ///< uninstalls itself if still installed
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Make this the process-wide tracer Spans record into. Throws
+  /// std::logic_error when another tracer is already installed.
+  void install();
+  /// Stop recording. Spans still alive keep their ring pointers, so
+  /// uninstall only between traced phases, and destroy the Tracer only
+  /// after those spans closed.
+  void uninstall();
+  bool installed() const;
+
+  /// Threads that recorded at least one span.
+  std::size_t threads() const;
+  /// Events dropped to ring overflow, summed over threads.
+  std::uint64_t dropped() const;
+  /// Retained events of every thread, sorted by (tid, start, -duration) —
+  /// parents sort before their children. Call after traced work quiesced.
+  std::vector<TraceEvent> events() const;
+
+  /// The trace as a Chrome trace-event JSON document: complete ("ph":"X")
+  /// events with microsecond timestamps, plus otherData.dropped_events.
+  Json chrome_trace_json() const;
+  /// Serialize chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  friend class Span;
+
+  /// Ring of the calling thread, created on first use.
+  ThreadRing* ring_for_current_thread();
+
+  std::size_t capacity_;
+  std::int64_t epoch_ns_;
+  std::uint64_t generation_;  ///< distinguishes tracers reusing an address
+  mutable std::mutex mu_;  ///< guards rings_ (creation and export)
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+};
+
+/// RAII scope marker. Inactive (and free beyond one atomic load) when no
+/// tracer is installed at construction time.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  Tracer::ThreadRing* ring_;  ///< nullptr = inactive
+  std::int64_t t0_ns_ = 0;
+};
+
+}  // namespace emc::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace emc::sig {
 
 // ------------------------------------------------------------ RecordingSink
@@ -28,6 +30,8 @@ void RecordingSink::consume(const SampleChunk& chunk) {
   if (lo >= hi || chunk.channels == 0) return;
   const double* src = chunk.data + (lo - chunk.first_frame) * chunk.channels;
   data_.insert(data_.end(), src, src + (hi - lo) * chunk.channels);
+  static const obs::Gauge g_bytes("sig.record.bytes_peak");
+  g_bytes.set_max(data_.capacity() * sizeof(double));
 }
 
 Waveform RecordingSink::waveform(std::size_t channel) const {

@@ -1,6 +1,7 @@
 #include "sweep/sweep_runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -13,6 +14,8 @@
 #include "circuit/lane_engine.hpp"
 #include "circuit/netlist.hpp"
 #include "core/driver_device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace emc::sweep {
 
@@ -166,29 +169,46 @@ SweepRunner::SweepRunner(std::size_t jobs)
     : pool_(jobs), workspaces_(pool_.workers()) {}
 
 SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
-                              const MarginHistogram& histogram_spec, std::size_t chunk) {
+                              const MarginHistogram& histogram_spec, std::size_t chunk,
+                              const ProgressFn& progress) {
+  static const obs::Counter c_sweeps("sweep.runs");
+  static const obs::Counter c_corners("sweep.corners");
+  obs::Span span("sweep");
+  c_sweeps.add();
+
   SweepOutcome out;
   out.results.resize(grid.size());
+  pool_.reset_worker_stats();
+  std::atomic<std::size_t> done{0};
 
   pool_.parallel_for(
       grid.size(),
       [&](std::size_t index, std::size_t worker) {
+        obs::Span corner_span("corner");
         const auto t0 = std::chrono::steady_clock::now();
         CornerResult& slot = out.results[index];
         slot.scenario = grid.at(index);
         Workspace& ws = workspaces_[worker];
         slot.report = fn(slot.scenario, ws);
-        // Memory accounting rides the workspace (the corner function only
-        // returns a report): both values are pure functions of the memo
-        // key, so memo hits report the same bytes as the corner that ran
-        // the transient and the summary stays scheduling-independent.
+        // Memory and solver accounting ride the workspace (the corner
+        // function only returns a report): all three are pure functions of
+        // the memo key, so memo hits report the same values as the corner
+        // that ran the transient and the summary stays
+        // scheduling-independent.
         slot.streamed_record_bytes = ws.memo_streamed_bytes;
         slot.monolithic_record_bytes = ws.memo_monolithic_bytes;
+        slot.solve = ws.memo_solve;
+        slot.transient_reused = ws.memo_hit;
+        slot.worker = worker;
         slot.wall_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        if (progress)
+          progress(done.fetch_add(1, std::memory_order_relaxed) + 1, grid.size());
       },
       chunk);
 
+  c_corners.add(grid.size());
+  out.workers = pool_.worker_stats();
   out.summary = summarize(grid, out.results, histogram_spec);
   return out;
 }
@@ -203,8 +223,12 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
     // corners pays for one transient (a hit is bit-identical to
     // recomputing — the record is a pure function of the key).
     std::string memo_key = emission_memo_key(sc);
+    static const obs::Counter c_hits("sweep.memo_hits");
+    static const obs::Counter c_misses("sweep.memo_misses");
 
-    if (ws.memo_key != memo_key) {
+    ws.memo_hit = ws.memo_key == memo_key;
+    (ws.memo_hit ? c_hits : c_misses).add();
+    if (!ws.memo_hit) {
       // Per-corner circuit: everything mutable lives here; the macromodel
       // is shared const across workers.
       auto tr = build_emission_transient(cfg, sc);
@@ -218,8 +242,8 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
       const int probes[] = {tr->b1};
       sig::RecordingSink rec(tr->per_period,
                              tr->per_period * static_cast<std::size_t>(cfg.periods - 1));
-      ckt::run_transient_streamed(tr->c, tr->opt, ws.newton, probes, rec,
-                                  tr->chunk_frames);
+      ws.memo_solve = ckt::run_transient_streamed(tr->c, tr->opt, ws.newton, probes, rec,
+                                                  tr->chunk_frames);
       // Single-channel recording: the flat buffer IS the steady record —
       // move it out instead of copying through waveform().
       ws.memo_record = sig::Waveform(
@@ -248,6 +272,12 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
     throw std::invalid_argument("run_emission_sweep_lanes: lane batching is sparse-only");
   if (max_lanes == 0)
     throw std::invalid_argument("run_emission_sweep_lanes: max_lanes must be >= 1");
+
+  static const obs::Counter c_sweeps("sweep.runs");
+  static const obs::Counter c_corners("sweep.corners");
+  obs::Span span("sweep");
+  c_sweeps.add();
+  c_corners.add(grid.size());
 
   // One transient group per distinct memo key: the same unit of work the
   // scalar runner's record memo deduplicates. Keys repeat only in
@@ -325,11 +355,17 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
       const std::size_t monolithic_bytes = n_frames * n_unknowns * sizeof(double);
 
       for (std::size_t idx : groups[g0 + l].corners) {
+        obs::Span corner_span("corner");
         CornerResult& slot = out.results[idx];
         slot.scenario = grid.at(idx);
         slot.report = post_process_corner(cfg, slot.scenario, steady, scanner);
         slot.streamed_record_bytes = streamed_bytes;
         slot.monolithic_record_bytes = monolithic_bytes;
+        // Lane semantics match the scalar runner: every corner of a group
+        // carries the producing lane's solver stats, and only the group's
+        // defining corner "ran" its transient.
+        slot.solve = stats.lanes[l];
+        slot.transient_reused = idx != groups[g0 + l].first;
       }
     }
     const double batch_wall =
@@ -349,6 +385,80 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
 std::size_t emission_chunk_hint(const CornerGrid& grid) {
   return grid.axis_size(AxisId::kRbw) * grid.axis_size(AxisId::kVddScale) *
          grid.axis_size(AxisId::kDetector);
+}
+
+// Margins can be +inf ("no covered corner hit this value"), which the JSON
+// emitter would render as null — encode that case as a string instead.
+obs::Json margin_json(double margin_db) {
+  return std::isfinite(margin_db) ? obs::Json::number(margin_db)
+                                  : obs::Json::string("uncovered");
+}
+
+obs::Json summary_json(const CornerGrid& grid, const SweepSummary& s) {
+  auto o = obs::Json::object();
+  o.set("corners", obs::Json::integer(static_cast<long>(s.corners)));
+  o.set("passed", obs::Json::integer(static_cast<long>(s.passed)));
+  o.set("failed", obs::Json::integer(static_cast<long>(s.failed)));
+  o.set("uncovered", obs::Json::integer(static_cast<long>(s.uncovered)));
+  o.set("truncated", obs::Json::integer(static_cast<long>(s.truncated)));
+  o.set("worst_margin_db", margin_json(s.worst_margin_db));
+  if (s.passed + s.failed > 0) {
+    o.set("worst_corner", obs::Json::integer(static_cast<long>(s.worst_corner)));
+    o.set("worst_label", obs::Json::string(s.worst_label));
+  }
+
+  auto axes = obs::Json::array();
+  for (std::size_t a = 0; a < kNumAxes; ++a) {
+    const auto axis = static_cast<AxisId>(a);
+    if (grid.axis_size(axis) < 2) continue;  // singleton axes say nothing
+    auto row = obs::Json::object();
+    row.set("axis", obs::Json::string(axis_name(axis)));
+    auto vals = obs::Json::array();
+    for (std::size_t k = 0; k < grid.axis_size(axis); ++k) {
+      auto v = obs::Json::object();
+      v.set("value", obs::Json::string(grid.axis_value_label(axis, k)));
+      v.set("worst_margin_db", margin_json(s.axis_worst[a][k]));
+      vals.push(std::move(v));
+    }
+    row.set("worst_by_value", std::move(vals));
+    axes.push(std::move(row));
+  }
+  o.set("per_axis_worst", std::move(axes));
+
+  o.set("peak_streamed_record_bytes",
+        obs::Json::integer(static_cast<long>(s.peak_streamed_record_bytes)));
+  o.set("peak_monolithic_record_bytes",
+        obs::Json::integer(static_cast<long>(s.peak_monolithic_record_bytes)));
+
+  auto hist = obs::Json::object();
+  hist.set("lo_db", obs::Json::number(s.histogram.lo_db));
+  hist.set("hi_db", obs::Json::number(s.histogram.hi_db));
+  auto counts = obs::Json::array();
+  for (std::size_t c : s.histogram.counts)
+    counts.push(obs::Json::integer(static_cast<long>(c)));
+  hist.set("counts", std::move(counts));
+  o.set("margin_histogram_db", std::move(hist));
+  return o;
+}
+
+obs::Json worker_stats_json(std::span<const WorkerStats> workers) {
+  auto rows = obs::Json::array();
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    const WorkerStats& ws = workers[w];
+    auto row = obs::Json::object();
+    row.set("worker", obs::Json::integer(static_cast<long>(w)));
+    row.set("busy_s", obs::Json::number(static_cast<double>(ws.busy_ns) * 1e-9));
+    row.set("idle_s", obs::Json::number(static_cast<double>(ws.idle_ns) * 1e-9));
+    row.set("items", obs::Json::integer(static_cast<long>(ws.items)));
+    row.set("epochs", obs::Json::integer(static_cast<long>(ws.epochs)));
+    const std::uint64_t total = ws.busy_ns + ws.idle_ns;
+    row.set("busy_fraction",
+            obs::Json::number(total > 0 ? static_cast<double>(ws.busy_ns) /
+                                              static_cast<double>(total)
+                                        : 0.0));
+    rows.push(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace emc::sweep

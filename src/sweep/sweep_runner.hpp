@@ -22,6 +22,7 @@
 #include "core/driver_model.hpp"
 #include "emc/limits.hpp"
 #include "emc/receiver.hpp"
+#include "obs/json.hpp"
 #include "sweep/corner_grid.hpp"
 #include "sweep/thread_pool.hpp"
 
@@ -52,10 +53,17 @@ struct Workspace {
   /// copies them into each CornerResult after the corner function returns.
   std::size_t memo_streamed_bytes = 0;
   std::size_t memo_monolithic_bytes = 0;
+
+  /// Solver statistics of the transient behind memo_record — a pure
+  /// function of the memo key, like the bytes above — and whether the
+  /// last corner evaluated hit the memo. Corner functions without a
+  /// memoized stage may leave both untouched.
+  ckt::SolveStats memo_solve;
+  bool memo_hit = false;
 };
 
-/// Verdict of one corner. `wall_s` is diagnostic only — it never enters
-/// the summary, which must be scheduling-independent.
+/// Verdict of one corner. `wall_s` and `worker` are diagnostic only —
+/// they never enter the summary, which must be scheduling-independent.
 struct CornerResult {
   Scenario scenario;
   spec::ComplianceReport report;
@@ -67,6 +75,13 @@ struct CornerResult {
   /// the corner function does not report memory.
   std::size_t streamed_record_bytes = 0;
   std::size_t monolithic_record_bytes = 0;
+
+  /// Solver statistics of the transient behind this corner's record.
+  /// Memo hits repeat the producing corner's stats (pure per memo key),
+  /// flagged by transient_reused.
+  ckt::SolveStats solve;
+  bool transient_reused = false;
+  std::size_t worker = 0;  ///< pool worker that evaluated this corner
 };
 
 /// Fixed-bin histogram of per-corner worst margins; corners outside the
@@ -123,6 +138,11 @@ using CornerFn =
 struct SweepOutcome {
   std::vector<CornerResult> results;  ///< grid order
   SweepSummary summary;
+
+  /// Per-worker pool utilization over this run (index = worker id).
+  /// Diagnostic, scheduling-dependent; empty for drivers that bypass the
+  /// pool (the lane-batched sweep runs single-threaded).
+  std::vector<WorkerStats> workers;
 };
 
 /// Deterministic sequential aggregation of per-corner reports (exposed
@@ -133,6 +153,12 @@ SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> res
 /// Owns the thread pool and one Workspace per worker.
 class SweepRunner {
  public:
+  /// Progress observer: invoked after every finished corner with
+  /// (corners_done, corners_total). Runs on whichever worker finished the
+  /// corner, concurrently with other workers — it must be thread-safe and
+  /// cheap, and it observes completion order, not grid order.
+  using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
   /// `jobs` worker threads (including the caller); clamped to >= 1.
   explicit SweepRunner(std::size_t jobs);
 
@@ -144,12 +170,27 @@ class SweepRunner {
   /// emission_chunk_hint(grid) so corners sharing a transient stay on one
   /// worker and its record memo hits); results are chunk-invariant.
   SweepOutcome run(const CornerGrid& grid, const CornerFn& fn,
-                   const MarginHistogram& histogram_spec = {}, std::size_t chunk = 1);
+                   const MarginHistogram& histogram_spec = {}, std::size_t chunk = 1,
+                   const ProgressFn& progress = {});
 
  private:
   ThreadPool pool_;
   std::vector<Workspace> workspaces_;
 };
+
+/// JSON spelling of one margin: finite values are numbers, the +infinity
+/// "nothing scored" sentinel becomes the string "uncovered".
+obs::Json margin_json(double margin_db);
+
+/// The summary as a JSON object — the schema BENCH_sweep.json, the corner
+/// sweep example and RunReports share (corners/passed/failed counts,
+/// worst margin + corner, per-axis worst table over non-singleton axes,
+/// record-memory peaks, margin histogram).
+obs::Json summary_json(const CornerGrid& grid, const SweepSummary& s);
+
+/// Pool utilization as a JSON array of per-worker rows (busy/idle seconds,
+/// items, busy fraction of the epochs' wall time).
+obs::Json worker_stats_json(std::span<const WorkerStats> workers);
 
 /// Configuration of the bus-emission corner pipeline: two PW-RBF drivers
 /// from one shared immutable macromodel on a lossy coupled line (the

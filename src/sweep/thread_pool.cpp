@@ -1,11 +1,26 @@
 #include "sweep/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace emc::sweep {
 
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers)
     : n_workers_(std::max<std::size_t>(1, workers)) {
+  epoch_busy_ns_.assign(n_workers_, 0);
+  epoch_items_.assign(n_workers_, 0);
+  stats_.assign(n_workers_, WorkerStats{});
   threads_.reserve(n_workers_ - 1);
   for (std::size_t w = 1; w < n_workers_; ++w)
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -24,12 +39,25 @@ std::size_t ThreadPool::default_workers() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+std::vector<WorkerStats> ThreadPool::worker_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void ThreadPool::reset_worker_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.assign(n_workers_, WorkerStats{});
+}
+
 void ThreadPool::drain(std::size_t worker) {
+  std::uint64_t busy = 0;
+  std::uint64_t items = 0;
   for (;;) {
     const std::size_t c = cursor_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t lo = c * job_chunk_;
-    if (lo >= job_n_) return;
+    if (lo >= job_n_) break;
     const std::size_t hi = std::min(job_n_, lo + job_chunk_);
+    const std::uint64_t t0 = now_ns();
     for (std::size_t i = lo; i < hi; ++i) {
       try {
         (*job_)(i, worker);
@@ -38,7 +66,13 @@ void ThreadPool::drain(std::size_t worker) {
         if (!error_) error_ = std::current_exception();
       }
     }
+    busy += now_ns() - t0;
+    items += hi - lo;
   }
+  // Owner-only writes; the caller folds them into stats_ after the epoch
+  // barrier (the mutex hand-off orders these against that read).
+  epoch_busy_ns_[worker] = busy;
+  epoch_items_[worker] = items;
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
@@ -59,12 +93,15 @@ void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t chunk) {
   if (n == 0) return;
+  const std::uint64_t t_epoch = now_ns();
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = &fn;
     job_n_ = n;
     job_chunk_ = std::max<std::size_t>(1, chunk);
     cursor_.store(0, std::memory_order_relaxed);
+    std::fill(epoch_busy_ns_.begin(), epoch_busy_ns_.end(), 0);
+    std::fill(epoch_items_.begin(), epoch_items_.end(), 0);
     active_ = n_workers_ - 1;
     ++epoch_;
   }
@@ -76,6 +113,17 @@ void ThreadPool::parallel_for(
   done_cv_.wait(lk, [&] { return active_ == 0; });
   job_ = nullptr;
   job_n_ = 0;
+  // Fold the epoch into the running totals: whatever part of the epoch's
+  // wall time a worker did not spend busy, it spent idle (waking up,
+  // waiting on the cursor, or done early behind a slow tail).
+  const std::uint64_t epoch_ns = now_ns() - t_epoch;
+  for (std::size_t w = 0; w < n_workers_; ++w) {
+    const std::uint64_t busy = std::min(epoch_busy_ns_[w], epoch_ns);
+    stats_[w].busy_ns += busy;
+    stats_[w].idle_ns += epoch_ns - busy;
+    stats_[w].items += epoch_items_[w];
+    ++stats_[w].epochs;
+  }
   lk.unlock();
 
   std::lock_guard<std::mutex> elk(err_mu_);

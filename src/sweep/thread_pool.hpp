@@ -21,6 +21,20 @@
 
 namespace emc::sweep {
 
+/// Per-worker utilization accounting, accumulated across parallel_for
+/// epochs. busy_ns counts time inside fn invocations (measured per
+/// claimed chunk); idle_ns is the remainder of each epoch's wall time the
+/// worker did not spend busy — waiting to wake, waiting on the cursor, or
+/// finished early behind a slow tail. busy_ns + idle_ns sums to (epochs x
+/// epoch wall time) per worker up to clock granularity, which is what the
+/// accounting test gates on.
+struct WorkerStats {
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;
+  std::uint64_t items = 0;   ///< loop indices this worker executed
+  std::uint64_t epochs = 0;  ///< parallel_for calls observed
+};
+
 /// Fixed-size pool of persistent workers. The calling thread participates
 /// as worker 0, so ThreadPool(1) spawns no threads at all and runs every
 /// loop inline — the serial reference that parallel runs must match
@@ -53,6 +67,11 @@ class ThreadPool {
   /// Sensible default worker count: hardware_concurrency, at least 1.
   static std::size_t default_workers();
 
+  /// Utilization of every worker (index = worker id), accumulated since
+  /// construction or the last reset. Call between loops, not during one.
+  std::vector<WorkerStats> worker_stats() const;
+  void reset_worker_stats();
+
  private:
   void worker_loop(std::size_t worker);
   void drain(std::size_t worker);
@@ -60,7 +79,7 @@ class ThreadPool {
   std::size_t n_workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable start_cv_;  ///< job published / shutdown
   std::condition_variable done_cv_;   ///< helper finished the current job
   std::uint64_t epoch_ = 0;           ///< bumps once per parallel_for
@@ -73,6 +92,12 @@ class ThreadPool {
   std::size_t job_n_ = 0;
   std::size_t job_chunk_ = 1;
   std::atomic<std::size_t> cursor_{0};  ///< next unclaimed chunk id
+
+  // Per-epoch scratch (owner-only writes in drain, folded into stats_ by
+  // the caller after the epoch barrier) and the accumulated totals.
+  std::vector<std::uint64_t> epoch_busy_ns_;
+  std::vector<std::uint64_t> epoch_items_;
+  std::vector<WorkerStats> stats_;
 
   std::mutex err_mu_;
   std::exception_ptr error_;

@@ -164,6 +164,69 @@ TEST(ThreadPool, ChunkHintLargerThanItemCount) {
   EXPECT_EQ(workers_seen.size(), 1u);
 }
 
+TEST(ThreadPool, WorkerAccountingIsConsistent) {
+  ThreadPool pool(3);
+  // Fresh pool: no epochs observed yet.
+  for (const auto& ws : pool.worker_stats()) {
+    EXPECT_EQ(ws.epochs, 0u);
+    EXPECT_EQ(ws.busy_ns + ws.idle_ns, 0u);
+    EXPECT_EQ(ws.items, 0u);
+  }
+
+  constexpr std::size_t kN = 64;
+  constexpr int kEpochs = 3;
+  auto spin = [](std::size_t, std::size_t) {
+    volatile double x = 1.0;
+    for (int k = 0; k < 20000; ++k) x = x * 1.0000001 + 1e-9;
+  };
+  for (int e = 0; e < kEpochs; ++e) pool.parallel_for(kN, spin);
+
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  std::uint64_t items = 0;
+  for (std::size_t w = 0; w < stats.size(); ++w) {
+    const auto& ws = stats[w];
+    EXPECT_EQ(ws.epochs, static_cast<std::uint64_t>(kEpochs)) << "worker " << w;
+    items += ws.items;
+    // Busy never exceeds busy+idle (= the summed epoch wall time), and the
+    // busy fraction is a well-defined [0, 1] number — the consistency the
+    // report's busy_fraction field relies on.
+    const std::uint64_t total = ws.busy_ns + ws.idle_ns;
+    EXPECT_LE(ws.busy_ns, total);
+    if (ws.items > 0) EXPECT_GT(ws.busy_ns, 0u) << "worker " << w;
+  }
+  EXPECT_EQ(items, static_cast<std::uint64_t>(kN) * kEpochs);
+  // Every worker observed the same epochs, so their wall totals agree up
+  // to clock granularity: all busy+idle sums are the same value.
+  const std::uint64_t ref = stats[0].busy_ns + stats[0].idle_ns;
+  EXPECT_GT(ref, 0u);
+  for (const auto& ws : stats) EXPECT_EQ(ws.busy_ns + ws.idle_ns, ref);
+
+  pool.reset_worker_stats();
+  for (const auto& ws : pool.worker_stats()) {
+    EXPECT_EQ(ws.epochs, 0u);
+    EXPECT_EQ(ws.items, 0u);
+  }
+}
+
+TEST(ThreadPool, WorkerStatsJsonShape) {
+  ThreadPool pool(2);
+  pool.parallel_for(16, [](std::size_t, std::size_t) {});
+  const auto stats = pool.worker_stats();
+  const auto rows = worker_stats_json(stats);
+  ASSERT_EQ(rows.size(), 2u);
+  std::uint64_t items = 0;
+  for (std::size_t w = 0; w < rows.size(); ++w) {
+    EXPECT_EQ(rows[w].at("worker").as_integer(), static_cast<long>(w));
+    EXPECT_EQ(rows[w].at("epochs").as_integer(), 1);
+    const double frac = rows[w].at("busy_fraction").as_double();
+    EXPECT_GE(frac, 0.0);
+    EXPECT_LE(frac, 1.0);
+    items += static_cast<std::uint64_t>(rows[w].at("items").as_integer());
+  }
+  EXPECT_EQ(items, 16u);
+}
+
 TEST(ThreadPool, ExceptionPropagatesWithoutDeadlock) {
   ThreadPool pool(4);
   std::atomic<int> ran{0};
@@ -363,6 +426,74 @@ TEST(SweepRunner, MemoryAccountingRidesWorkspaceAndIsSchedulingIndependent) {
     EXPECT_EQ(b.results[i].streamed_record_bytes, 10 + i);
     EXPECT_EQ(a.results[i].monolithic_record_bytes, 1000 + 10 * i);
   }
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryCornerOnce) {
+  CornerAxes axes;
+  axes.pattern_seed = {1, 2, 3, 4, 5, 6};
+  const CornerGrid grid(axes);
+
+  const CornerFn fn = [](const Scenario&, Workspace&) { return report_with_margin(1.0); };
+
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> max_done{0};
+  SweepRunner runner(3);
+  const auto out = runner.run(
+      grid, fn, {}, /*chunk=*/1, [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, grid.size());
+        EXPECT_GE(done, 1u);
+        EXPECT_LE(done, total);
+        ++calls;
+        std::size_t prev = max_done.load();
+        while (done > prev && !max_done.compare_exchange_weak(prev, done)) {
+        }
+      });
+  EXPECT_EQ(calls.load(), grid.size());
+  EXPECT_EQ(max_done.load(), grid.size());
+  EXPECT_EQ(out.summary.corners, grid.size());
+
+  // Worker telemetry: one entry per pool worker, every corner attributed
+  // to a valid worker, items summing to the corner count.
+  ASSERT_EQ(out.workers.size(), runner.jobs());
+  std::uint64_t items = 0;
+  for (const auto& w : out.workers) items += w.items;
+  EXPECT_EQ(items, grid.size());
+  for (const auto& r : out.results) EXPECT_LT(r.worker, runner.jobs());
+}
+
+TEST(SweepRunner, SolverTelemetryRidesWorkspaceLikeMemory) {
+  CornerAxes axes;
+  axes.pattern_seed = {1, 2, 3};
+  axes.vdd_scale = {0.9, 1.0};  // post-processing axis: shares transients
+  const CornerGrid grid(axes);
+  ASSERT_EQ(grid.size(), 6u);
+
+  // A corner fn that marks its "transient" work the way the emission fn
+  // does: a fresh solve per pattern, memo hits for the vdd corners.
+  const CornerFn fn = [](const Scenario& sc, Workspace& ws) {
+    const std::string key = sc.bits;
+    ws.memo_hit = ws.memo_key == key;
+    if (!ws.memo_hit) {
+      ws.memo_solve = {};
+      ws.memo_solve.total_newton_iters = 100 + static_cast<long>(sc.pattern_seed);
+      ws.memo_solve.used_sparse = 1;
+      ws.memo_key = key;
+    }
+    return report_with_margin(1.0);
+  };
+
+  SweepRunner serial(1);
+  const auto out = serial.run(grid, fn, {}, emission_chunk_hint(grid));
+  for (const auto& r : out.results) {
+    EXPECT_EQ(r.solve.total_newton_iters,
+              100 + static_cast<long>(r.scenario.pattern_seed))
+        << "corner " << r.scenario.index;
+    EXPECT_EQ(r.solve.used_sparse, 1);
+  }
+  // With the chunk hint, exactly one corner per pattern ran its transient.
+  std::size_t fresh = 0;
+  for (const auto& r : out.results) fresh += r.transient_reused ? 0 : 1;
+  EXPECT_EQ(fresh, 3u);
 }
 
 TEST(SweepRunner, CornerExceptionDoesNotDeadlockAndPoolSurvives) {
