@@ -1,0 +1,68 @@
+// --check-baseline support shared by every bench binary.
+//
+// Each bench calls extract_baseline_args() first — it strips
+//
+//   --check-baseline PATH    baseline spec to score the bench doc against
+//   --baseline-scale X       multiply every row's tolerance (slow runners)
+//
+// from argv in place, so the bench's own argument parsing never sees
+// them — then, after building its BENCH_*.json document, gates the run
+// with check_baseline_gate(). With no --check-baseline the gate is a
+// no-op returning true; with one it parses the spec
+// (bench/baselines/*.smoke.json, schema in src/obs/compare.hpp), scores
+// the document through obs::check_baseline, prints the verdict table, and
+// returns the pass flag for the bench to fold into its exit code.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "obs/compare.hpp"
+#include "obs/json.hpp"
+
+namespace emc::bench {
+
+struct BaselineArgs {
+  std::string path;   ///< empty = no baseline check requested
+  double scale = 1.0; ///< tolerance multiplier
+};
+
+/// Strip --check-baseline/--baseline-scale (and their values) out of
+/// argv, compacting it in place and updating argc.
+inline BaselineArgs extract_baseline_args(int& argc, char** argv) {
+  BaselineArgs out;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    const std::string a = argv[r];
+    if (a == "--check-baseline" && r + 1 < argc) {
+      out.path = argv[++r];
+    } else if (a == "--baseline-scale" && r + 1 < argc) {
+      out.scale = std::strtod(argv[++r], nullptr);
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return out;
+}
+
+/// Score `doc` against the baseline spec named in `args`. True when no
+/// baseline was requested or every row passes; prints the verdict table
+/// either way. Unreadable/malformed specs report to stderr and fail.
+inline bool check_baseline_gate(const obs::Json& doc, const BaselineArgs& args) {
+  if (args.path.empty()) return true;
+  try {
+    const obs::Json spec = obs::Json::parse_file(args.path);
+    const obs::CompareResult r = obs::check_baseline(spec, doc, args.scale);
+    std::printf("baseline %s (tol x%g):\n%s", args.path.c_str(), args.scale,
+                r.format().c_str());
+    return r.pass;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "baseline check failed: %s\n", e.what());
+    return false;
+  }
+}
+
+}  // namespace emc::bench

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <vector>
 
+#include "baseline.hpp"
 #include "emc/limits.hpp"
 #include "emc/receiver.hpp"
 #include "emc/spectrum.hpp"
@@ -48,6 +49,7 @@ emc::spec::LimitMask board_mask() {
 
 int main(int argc, char** argv) {
   using namespace emc;
+  const auto bargs = bench::extract_baseline_args(argc, argv);
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -205,10 +207,12 @@ int main(int argc, char** argv) {
   if (doc.write_file("BENCH_emc.json"))
     std::printf("wrote BENCH_emc.json and bench_out/bench_emc_scan.csv\n");
 
+  const bool base_ok = bench::check_baseline_gate(doc, bargs);
+
   // Gate on the macromodel reproducing the strong harmonics (the paper's
   // models track the reference to a few percent in the time domain, which
   // must hold up as a few dB where the emission energy actually is) and on
   // the zoom demodulation agreeing with the reference path on a real
   // emission waveform.
-  return max_abs_err_strong < 6.0 && zoom_delta < 0.01 ? 0 : 1;
+  return max_abs_err_strong < 6.0 && zoom_delta < 0.01 && base_ok ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include <numbers>
 #include <vector>
 
+#include "baseline.hpp"
 #include "emc/fft.hpp"
 #include "emc/receiver.hpp"
 #include "json_out.hpp"
@@ -96,6 +97,7 @@ spec::ReceiverSettings scan_rx(std::size_t n_points, spec::ScanMethod method) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto bargs = bench::extract_baseline_args(argc, argv);
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -234,5 +236,6 @@ int main(int argc, char** argv) {
   doc.set("accuracy_ok", bench::Json::boolean(ok));
 
   if (doc.write_file("BENCH_fft.json")) std::printf("\nwrote BENCH_fft.json\n");
+  ok = bench::check_baseline_gate(doc, bargs) && ok;
   return ok ? 0 : 1;
 }

@@ -33,9 +33,11 @@
 #include "circuit/engine.hpp"
 #include "circuit/netlist.hpp"
 #include "circuit/tline.hpp"
+#include "baseline.hpp"
 #include "emc/limits.hpp"
 #include "json_out.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "signal/sample_sink.hpp"
@@ -240,6 +242,7 @@ std::string read_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto bargs = bench::extract_baseline_args(argc, argv);
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -329,12 +332,15 @@ int main(int argc, char** argv) {
   TraceCheck check;
   sweep::SweepOutcome sweep_out;
   obs::MetricsSnapshot sweep_metrics;
+  obs::Profile profile;
   std::size_t sweep_threads = 0, sweep_dropped = 0, trace_events = 0;
   const auto t_sweep = std::chrono::steady_clock::now();
   const int max_tries = 10;
   for (int attempt = 0; attempt < max_tries; ++attempt) {
     obs::registry().reset();
-    obs::Tracer tracer;
+    // Ring sized for the whole traced sweep: the zero-drop gate below
+    // requires that no event was overwritten, so the profile is complete.
+    obs::Tracer tracer(1 << 18);
     tracer.install();
     {
       obs::Span root("bench_obs");
@@ -346,6 +352,7 @@ int main(int argc, char** argv) {
     sweep_threads = tracer.threads();
     sweep_dropped = tracer.dropped();
     trace_events = tracer.events().size();
+    profile = obs::Profile::build(tracer);
 
     if (!tracer.write_chrome_trace("obs_sweep.trace.json")) break;
     check = check_chrome_trace(read_file("obs_sweep.trace.json"));
@@ -371,6 +378,20 @@ int main(int argc, char** argv) {
   doc.set("trace_threads", bench::Json::integer(static_cast<long>(check.tids)));
   doc.set("trace_dropped", bench::Json::integer(static_cast<long>(sweep_dropped)));
   doc.set("trace_ok", bench::Json::boolean(trace_ok));
+
+  // ---------------------------------------------------------------- D ----
+  // Drop-free tracing: the sized-up ring must have retained every event of
+  // the sweep (dropped == 0), and the profile built from it must not be
+  // flagged truncated — the hard-warning contract for regression gates.
+  const bool drops_ok = sweep_dropped == 0 && !profile.truncated() &&
+                        profile.events() == trace_events &&
+                        profile.spans().count("newton_step") > 0;
+  ok &= drops_ok;
+  std::printf("[D] drop-free profile: %zu events, dropped %zu, truncated %s: %s\n",
+              profile.events(), sweep_dropped, profile.truncated() ? "yes" : "no",
+              drops_ok ? "ok" : "FAILED");
+  doc.set("profile_truncated", bench::Json::boolean(profile.truncated()));
+  doc.set("drops_ok", bench::Json::boolean(drops_ok));
 
   // ------------------------------------------------------------ report ----
   // The structured run report of the traced sweep: what ran, how hard the
@@ -407,10 +428,12 @@ int main(int argc, char** argv) {
   report.set("trace", "events", static_cast<long>(trace_events));
   report.set("trace", "dropped_events", static_cast<long>(sweep_dropped));
   report.set("trace", "file", std::string("obs_sweep.trace.json"));
+  report.add_profile(profile);
   if (report.write("REPORT_obs.json")) std::printf("wrote REPORT_obs.json\n");
 
   doc.set("gates_passed", bench::Json::boolean(ok));
   if (doc.write_file("BENCH_obs.json")) std::printf("wrote BENCH_obs.json\n");
+  ok = bench::check_baseline_gate(doc, bargs) && ok;
   std::printf("bench_obs: %s\n", ok ? "all gates passed" : "GATE FAILURE");
   return ok ? 0 : 1;
 }

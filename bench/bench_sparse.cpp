@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "baseline.hpp"
 #include "circuit/devices_linear.hpp"
 #include "circuit/devices_nonlinear.hpp"
 #include "circuit/engine.hpp"
@@ -134,6 +135,7 @@ double max_delta(const std::vector<double>& a, const std::vector<double>& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto bargs = bench::extract_baseline_args(argc, argv);
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -360,6 +362,7 @@ int main(int argc, char** argv) {
 
   doc.set("gates_passed", bench::Json::boolean(ok));
   if (doc.write_file("BENCH_sparse.json")) std::printf("wrote BENCH_sparse.json\n");
+  ok = bench::check_baseline_gate(doc, bargs) && ok;
   std::printf(ok ? "all gates passed\n" : "GATES FAILED\n");
   return ok ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "baseline.hpp"
 #include "circuit/devices_linear.hpp"
 #include "circuit/engine.hpp"
 #include "circuit/netlist.hpp"
@@ -29,6 +30,7 @@
 #include "emc/spectrum.hpp"
 #include "emc/streaming.hpp"
 #include "json_out.hpp"
+#include "obs/resource.hpp"
 #include "signal/sample_sink.hpp"
 
 namespace {
@@ -82,6 +84,7 @@ double max_psd_delta(const spec::Spectrum& a, const spec::Spectrum& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto bargs = bench::extract_baseline_args(argc, argv);
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -91,6 +94,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // External cross-check of the "bytes held" accounting below: sample the
+  // process RSS over the whole bench; the OS-observed peak can never be
+  // below what the sinks claim to hold.
+  obs::ResourceSampler sampler({/*interval_ms=*/10, /*ring_capacity=*/4096});
+  sampler.start();
 
   // Geometry: the EMI segment is one exact PRBS pattern period (the
   // documented contract of the segmented receiver — whole periods keep
@@ -219,8 +228,23 @@ int main(int argc, char** argv) {
   doc.set("emi_detector_max_delta_db", bench::Json::number(emi_delta));
   doc.set("throughput_ratio", bench::Json::number(ratio));
   doc.set("throughput_bound", bench::Json::number(ratio_bound));
-  doc.set("pass", bench::Json::boolean(psd_ok && mem_ok && speed_ok && emi_ok));
+  // ---- resource cross-check: the sampled process peak RSS must dominate
+  // every byte count the sinks report holding (the monolithic record is
+  // still alive here, so it bounds from below too).
+  sampler.stop();
+  const auto rstats = sampler.stats();
+  const bool rss_ok = rstats.samples >= 2 &&
+                      rstats.peak_rss_bytes >= std::max(bytes_mono, bytes_stream);
+  std::printf("peak RSS %.1f MiB over %llu samples >= %.1f KiB held: %s\n",
+              static_cast<double>(rstats.peak_rss_bytes) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(rstats.samples),
+              static_cast<double>(std::max(bytes_mono, bytes_stream)) / 1024.0,
+              rss_ok ? "ok" : "VIOLATED");
+  doc.set("resources", sampler.to_json());
+  doc.set("rss_covers_bytes_held", bench::Json::boolean(rss_ok));
+  doc.set("pass", bench::Json::boolean(psd_ok && mem_ok && speed_ok && emi_ok && rss_ok));
 
   if (doc.write_file("BENCH_stream.json")) std::printf("wrote BENCH_stream.json\n");
-  return (psd_ok && mem_ok && speed_ok && emi_ok) ? 0 : 1;
+  const bool base_ok = bench::check_baseline_gate(doc, bargs);
+  return (psd_ok && mem_ok && speed_ok && emi_ok && rss_ok && base_ok) ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <thread>
 
+#include "baseline.hpp"
 #include "emc/limits.hpp"
 #include "experiments.hpp"
 #include "json_out.hpp"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   using bench::seconds_since;
   using sweep::summary_json;
 
+  const auto bargs = bench::extract_baseline_args(argc, argv);
   bool smoke = false;
   std::size_t jobs = 8;
   for (int i = 1; i < argc; ++i) {
@@ -156,7 +158,9 @@ int main(int argc, char** argv) {
 
   if (doc.write_file("BENCH_sweep.json")) std::printf("wrote BENCH_sweep.json\n");
 
+  const bool base_ok = bench::check_baseline_gate(doc, bargs);
+
   // Gate on determinism, never on speedup: speedup is hardware-dependent
   // (recorded in the JSON next to hardware_concurrency).
-  return identical ? 0 : 1;
+  return identical && base_ok ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include "circuit/devices_linear.hpp"
 #include "circuit/engine.hpp"
 #include "circuit/netlist.hpp"
+#include "baseline.hpp"
 #include "core/validation.hpp"
 #include "experiments.hpp"
 #include "json_out.hpp"
@@ -57,8 +58,9 @@ struct RecordCost {
   std::size_t record_bytes = 0; ///< flat record footprint
 };
 
-void write_json(const std::vector<BenchRow>& rows, double speedup, double max_dv,
-                const RecordCost& rc, bool smoke) {
+bool write_json(const std::vector<BenchRow>& rows, double speedup, double max_dv,
+                const RecordCost& rc, bool smoke,
+                const emc::bench::BaselineArgs& bargs) {
   auto doc = emc::bench::make_bench_doc("bench_timing");
   for (const auto& r : rows)
     doc.at("scenarios").push(emc::bench::scenario_row(r.name, r.wall_s, r.newton_iters));
@@ -74,6 +76,7 @@ void write_json(const std::vector<BenchRow>& rows, double speedup, double max_dv
   doc.set("record_bytes", emc::bench::Json::integer(static_cast<long>(rc.record_bytes)));
   if (doc.write_file("BENCH_timing.json"))
     std::printf("wrote BENCH_timing.json (%zu scenarios)\n", rows.size());
+  return emc::bench::check_baseline_gate(doc, bargs);
 }
 
 }  // namespace
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
   // --smoke: CI sanity mode. Skips the model-estimation experiments and
   // shrinks the linear-ladder comparison so the binary exercises its whole
   // reporting path in seconds.
+  const auto bargs = bench::extract_baseline_args(argc, argv);
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -239,6 +243,6 @@ int main(int argc, char** argv) {
                     : 0.0);
   }
 
-  write_json(bench_rows, speedup, max_dv, rc, smoke);
-  return max_dv < 1e-9 ? 0 : 1;
+  const bool base_ok = write_json(bench_rows, speedup, max_dv, rc, smoke, bargs);
+  return (max_dv < 1e-9 && base_ok) ? 0 : 1;
 }

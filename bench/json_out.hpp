@@ -3,6 +3,7 @@
 //
 //   {
 //     "bench": "<name>",
+//     "host": { ...obs::host_info_json()... },
 //     "scenarios": [{"name": ..., "wall_s": ..., ...}, ...],
 //     ...bench-specific extras...
 //   }
@@ -17,6 +18,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/report.hpp"
 
 namespace emc::bench {
 
@@ -28,12 +30,13 @@ inline double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-/// Standard top-level bench document: {"bench": name, "scenarios": []}.
-/// Push scenario_row()s into "scenarios" and attach bench-specific extras
-/// with set() afterwards.
+/// Standard top-level bench document: {"bench": name, "host": {...},
+/// "scenarios": []}. Push scenario_row()s into "scenarios" and attach
+/// bench-specific extras with set() afterwards.
 inline Json make_bench_doc(const std::string& name) {
   Json doc = Json::object();
   doc.set("bench", Json::string(name));
+  doc.set("host", emc::obs::host_info_json());
   doc.set("scenarios", Json::array());
   return doc;
 }

@@ -10,10 +10,12 @@
 // structured RunReport with the solver statistics, worker utilization and
 // metric counters lands in corner_sweep.report.json.
 //
-//   example_corner_sweep [--jobs N]   (default: hardware concurrency)
+//   example_corner_sweep [--jobs N] [--out-dir DIR]
+//   (jobs default: hardware concurrency; out-dir default: cwd)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "core/circuit_dut.hpp"
 #include "core/driver_estimator.hpp"
@@ -27,9 +29,35 @@ using namespace emc;
 
 int main(int argc, char** argv) {
   std::size_t jobs = sweep::ThreadPool::default_workers();
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+      if (!out_dir.empty() && out_dir.back() != '/') out_dir += '/';
+    } else {
+      std::fprintf(stderr, "usage: example_corner_sweep [--jobs N] [--out-dir DIR]\n");
+      return 2;
+    }
+  }
+  const std::string trace_path = out_dir + "corner_sweep.trace.json";
+  const std::string report_path = out_dir + "corner_sweep.report.json";
+
+  // Fail up front when the output directory is unwritable: a sweep whose
+  // artifacts silently vanish looks identical to one that worked.
+  {
+    const std::string probe_path = out_dir + ".corner_sweep.probe";
+    std::FILE* probe = std::fopen(probe_path.c_str(), "w");
+    if (!probe) {
+      std::fprintf(stderr,
+                   "error: output directory '%s' is not writable (cannot create %s)\n",
+                   out_dir.empty() ? "." : out_dir.c_str(), probe_path.c_str());
+      return 1;
+    }
+    std::fclose(probe);
+    std::remove(probe_path.c_str());
+  }
 
   std::printf("== corner sweep: one macromodel, many scenarios, %zu workers ==\n", jobs);
 
@@ -124,10 +152,12 @@ int main(int argc, char** argv) {
                 total > 0 ? 100.0 * static_cast<double>(ws.busy_ns) / total : 0.0);
   }
 
-  const bool trace_written = tracer.write_chrome_trace("corner_sweep.trace.json");
+  const bool trace_written = tracer.write_chrome_trace(trace_path);
   if (trace_written)
-    std::printf("wrote corner_sweep.trace.json (%zu spans from %zu threads)\n",
+    std::printf("wrote %s (%zu spans from %zu threads)\n", trace_path.c_str(),
                 tracer.events().size(), tracer.threads());
+  else
+    std::fprintf(stderr, "error: could not write %s\n", trace_path.c_str());
 
   obs::RunReport report("corner_sweep");
   report.set("config", "jobs", static_cast<long>(jobs));
@@ -144,8 +174,11 @@ int main(int argc, char** argv) {
   report.set("sweep", "transients_reused", static_cast<long>(reused));
   report.set("workers", "pool", sweep::worker_stats_json(out.workers));
   report.add_metrics(obs::registry().snapshot());
-  report.add_trace_summary(tracer, trace_written ? "corner_sweep.trace.json" : "");
-  if (report.write("corner_sweep.report.json"))
-    std::printf("wrote corner_sweep.report.json\n");
-  return 0;
+  report.add_trace_summary(tracer, trace_written ? trace_path : "");
+  const bool report_written = report.write(report_path);
+  if (report_written)
+    std::printf("wrote %s\n", report_path.c_str());
+  else
+    std::fprintf(stderr, "error: could not write %s\n", report_path.c_str());
+  return (trace_written && report_written) ? 0 : 1;
 }

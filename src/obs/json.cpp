@@ -62,6 +62,19 @@ bool Json::as_bool() const {
   return bool_;
 }
 
+Json Json::parse_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("obs::Json: cannot read " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) throw std::runtime_error("obs::Json: error reading " + path);
+  return parse(text);
+}
+
 bool Json::write_file(const std::string& path, int indent) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {

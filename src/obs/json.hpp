@@ -65,6 +65,10 @@ class Json {
   /// malformed input or trailing garbage.
   static Json parse(std::string_view text);
 
+  /// Read and parse a file. Throws std::runtime_error when the file
+  /// cannot be read, JsonParseError when its contents are malformed.
+  static Json parse_file(const std::string& path);
+
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }
   bool is_object() const { return kind_ == Kind::kObject; }

@@ -202,6 +202,12 @@ Json MetricsSnapshot::to_json() const {
         buckets.push(Json::integer(static_cast<long>(r.buckets[b])));
       h.set("pow2_buckets", std::move(buckets));
       o.set(r.name, std::move(h));
+    } else if (r.kind == MetricKind::kGauge) {
+      // Gauges carry their merge discipline in their shape: a {"peak": v}
+      // object max-merges across shards, a bare counter integer sums.
+      Json g = Json::object();
+      g.set("peak", Json::integer(static_cast<long>(r.value)));
+      o.set(r.name, std::move(g));
     } else {
       o.set(r.name, Json::integer(static_cast<long>(r.value)));
     }

@@ -1,0 +1,189 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+
+namespace emc::obs {
+
+namespace {
+
+std::size_t bucket_of(std::int64_t dur_ns) {
+  const auto v = static_cast<std::uint64_t>(dur_ns < 0 ? 0 : dur_ns);
+  return std::min<std::size_t>(std::bit_width(v), kHistogramBuckets - 1);
+}
+
+/// Mutable aggregation node; converted to the sorted ProfileNode shape
+/// once every event has been folded in.
+struct TmpNode {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t child_ns = 0;
+  std::map<std::string, std::unique_ptr<TmpNode>> children;
+};
+
+ProfileNode freeze(const std::string& name, const TmpNode& n) {
+  ProfileNode out;
+  out.name = name;
+  out.count = n.count;
+  out.total_ns = n.total_ns;
+  out.self_ns = n.total_ns - n.child_ns;
+  out.children.reserve(n.children.size());
+  for (const auto& [child_name, child] : n.children)  // map: name-sorted
+    out.children.push_back(freeze(child_name, *child));
+  return out;
+}
+
+void fold_self_by_name(const ProfileNode& n, std::map<std::string, SpanStats>& spans) {
+  for (const ProfileNode& c : n.children) {
+    spans[c.name].self_ns += c.self_ns;
+    fold_self_by_name(c, spans);
+  }
+}
+
+void emit_node_json(const ProfileNode& n, Json& arr) {
+  Json o = Json::object();
+  o.set("name", Json::string(n.name));
+  o.set("count", Json::integer(static_cast<long>(n.count)));
+  o.set("total_ns", Json::integer(static_cast<long>(n.total_ns)));
+  o.set("self_ns", Json::integer(static_cast<long>(n.self_ns)));
+  if (!n.children.empty()) {
+    Json kids = Json::array();
+    for (const ProfileNode& c : n.children) emit_node_json(c, kids);
+    o.set("children", std::move(kids));
+  }
+  arr.push(std::move(o));
+}
+
+void emit_folded(const Json& node, std::string& prefix, std::string& out) {
+  const std::size_t prefix_len = prefix.size();
+  if (!prefix.empty()) prefix.push_back(';');
+  prefix += node.at("name").as_string();
+
+  // Folded-format values are integer sample weights; microseconds keep
+  // sub-millisecond spans visible without ballooning the numbers.
+  const long self_us = (node.at("self_ns").as_integer() + 500) / 1000;
+  if (self_us > 0) {
+    out += prefix;
+    out.push_back(' ');
+    out += std::to_string(self_us);
+    out.push_back('\n');
+  }
+  if (const Json* kids = node.find("children"))
+    for (const Json& c : kids->items()) emit_folded(c, prefix, out);
+  prefix.resize(prefix_len);
+}
+
+}  // namespace
+
+Profile Profile::build(const Tracer& tracer) {
+  return build(tracer.events(), tracer.dropped(), tracer.threads());
+}
+
+Profile Profile::build(std::span<const TraceEvent> events, std::uint64_t dropped_events,
+                       std::size_t threads) {
+  Profile p;
+  p.dropped_events_ = dropped_events;
+  p.threads_ = threads;
+  p.events_ = events.size();
+
+  TmpNode root;
+  // Per-thread reconstruction: events arrive (tid, start, longest-first),
+  // so a parent precedes the children it contains and the recorded depth
+  // alone rebuilds the stack. stack[d] is the open node at depth d.
+  std::vector<TmpNode*> stack;
+  std::uint32_t cur_tid = 0;
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (first || e.tid != cur_tid) {
+      stack.assign(1, &root);
+      cur_tid = e.tid;
+      first = false;
+    }
+    // An event at depth d nests under the last open event at depth d-1.
+    // A dropped parent leaves d beyond the stack; clamp to the deepest
+    // retained ancestor (only reachable when dropped_events > 0, which
+    // already flags the profile truncated).
+    const std::size_t depth =
+        std::min<std::size_t>(e.depth, stack.size() - 1);
+    stack.resize(depth + 1);
+
+    TmpNode* parent = stack.back();
+    std::unique_ptr<TmpNode>& slot = parent->children[e.name];
+    if (!slot) slot = std::make_unique<TmpNode>();
+    slot->count += 1;
+    slot->total_ns += e.dur_ns;
+    parent->child_ns += e.dur_ns;
+    if (parent == &root) root.total_ns += e.dur_ns;
+    stack.push_back(slot.get());
+
+    SpanStats& s = p.spans_[e.name];
+    if (s.count == 0 || e.dur_ns < s.min_ns) s.min_ns = e.dur_ns;
+    if (e.dur_ns > s.max_ns) s.max_ns = e.dur_ns;
+    s.count += 1;
+    s.total_ns += e.dur_ns;
+    s.buckets[bucket_of(e.dur_ns)] += 1;
+  }
+
+  root.child_ns = root.total_ns;  // the synthetic root has no self time
+  p.root_ = freeze("", root);
+  fold_self_by_name(p.root_, p.spans_);
+  return p;
+}
+
+std::int64_t Profile::self_ns(const std::string& name) const {
+  const auto it = spans_.find(name);
+  return it == spans_.end() ? 0 : it->second.self_ns;
+}
+
+Json Profile::to_json() const {
+  Json o = Json::object();
+  o.set("truncated", Json::boolean(truncated()));
+  o.set("dropped_events", Json::integer(static_cast<long>(dropped_events_)));
+  o.set("threads", Json::integer(static_cast<long>(threads_)));
+  o.set("events", Json::integer(static_cast<long>(events_)));
+  o.set("total_ns", Json::integer(static_cast<long>(root_.total_ns)));
+
+  Json spans = Json::object();
+  for (const auto& [name, s] : spans_) {
+    Json row = Json::object();
+    row.set("count", Json::integer(static_cast<long>(s.count)));
+    row.set("total_ns", Json::integer(static_cast<long>(s.total_ns)));
+    row.set("self_ns", Json::integer(static_cast<long>(s.self_ns)));
+    row.set("min_ns", Json::integer(static_cast<long>(s.min_ns)));
+    row.set("max_ns", Json::integer(static_cast<long>(s.max_ns)));
+    if (s.count > 0)
+      row.set("mean_ns", Json::number(static_cast<double>(s.total_ns) /
+                                      static_cast<double>(s.count)));
+    // Same trailing-trim convention as MetricsSnapshot::to_json.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < s.buckets.size(); ++b)
+      if (s.buckets[b] > 0) last = b + 1;
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < last; ++b)
+      buckets.push(Json::integer(static_cast<long>(s.buckets[b])));
+    row.set("pow2_buckets", std::move(buckets));
+    spans.set(name, std::move(row));
+  }
+  o.set("spans", std::move(spans));
+
+  Json tree = Json::array();
+  for (const ProfileNode& c : root_.children) emit_node_json(c, tree);
+  o.set("tree", std::move(tree));
+  return o;
+}
+
+std::string Profile::collapsed_stacks() const {
+  return collapsed_stacks_from_profile_json(to_json());
+}
+
+std::string collapsed_stacks_from_profile_json(const Json& profile) {
+  const Json* tree = profile.find("tree");
+  if (!tree || !tree->is_array())
+    throw std::logic_error("collapsed_stacks: profile has no tree array");
+  std::string out, prefix;
+  for (const Json& top : tree->items()) emit_folded(top, prefix, out);
+  return out;
+}
+
+}  // namespace emc::obs

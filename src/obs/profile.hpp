@@ -1,0 +1,120 @@
+// Span-aggregated profiles: turn a Tracer's raw event stream into a
+// deterministic hierarchical profile.
+//
+// A Tracer records one event per closed Span — tens of thousands of
+// newton_step entries for a single sweep. A Profile folds that stream into
+// the two views a human (or a regression gate) actually reads:
+//
+//   * flat per-span-name statistics — call count, total and self wall
+//     time, min/max/mean duration, and a power-of-two duration histogram
+//     (same bucketing as obs::Histogram) — answering "where did the time
+//     go, by site";
+//   * a parent -> child call tree aggregated by path — answering "where
+//     did the time go, by context" — exportable as collapsed-stack text
+//     that flamegraph.pl / speedscope render directly.
+//
+// Self time is total time minus the time spent in child spans, so the
+// flat table's self column sums (per thread) to attributed wall time:
+// the fraction it covers of a root span is the profile's coverage gate.
+//
+// Determinism: events aggregate by (path, name) with children sorted by
+// name and the flat table sorted by name, so two runs tracing the same
+// work produce structurally identical profiles (only durations differ)
+// regardless of thread scheduling. Build after the traced work quiesced.
+//
+// Truncation: a ring that overflowed dropped oldest-first, so parents of
+// retained events may be missing. build() still produces a best-effort
+// profile (orphaned events attach at the deepest retained ancestor) but
+// flags it `truncated`; treat truncated profiles as diagnostics, never as
+// regression-gate inputs — size the ring up until dropped() == 0 instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace emc::obs {
+
+/// Flat statistics of one span name, aggregated over every occurrence on
+/// every thread.
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;  ///< sum of durations
+  std::int64_t self_ns = 0;   ///< total minus time inside child spans
+  std::int64_t min_ns = 0;
+  std::int64_t max_ns = 0;
+  /// Power-of-two duration buckets: bucket b counts durations of bit
+  /// width b (see obs::kHistogramBuckets), clamped into the last bucket.
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// One aggregated call-tree node: every span with this name whose parent
+/// chain matches this node's path. Children are sorted by name.
+struct ProfileNode {
+  std::string name;
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t self_ns = 0;
+  std::vector<ProfileNode> children;
+};
+
+class Profile {
+ public:
+  /// Aggregate a tracer's retained events (call after the traced work
+  /// quiesced — it walks every ring).
+  static Profile build(const Tracer& tracer);
+  /// Aggregate a pre-extracted event list sorted the way Tracer::events()
+  /// sorts: (tid, start, longest-first), parents before children.
+  static Profile build(std::span<const TraceEvent> events, std::uint64_t dropped_events,
+                       std::size_t threads);
+
+  /// True when the source tracer dropped events to ring overflow: parent
+  /// attribution is then best-effort and gates must not trust the profile.
+  bool truncated() const { return dropped_events_ > 0; }
+  std::uint64_t dropped_events() const { return dropped_events_; }
+  std::size_t threads() const { return threads_; }
+  std::size_t events() const { return events_; }
+
+  /// Flat per-name table, keyed (and therefore sorted) by span name.
+  const std::map<std::string, SpanStats>& spans() const { return spans_; }
+  /// Synthetic root (empty name) whose children are the top-level spans.
+  const ProfileNode& root() const { return root_; }
+  /// Sum of top-level span durations — the profile's notion of traced
+  /// wall time (per-thread times add; divide by threads for wall clock).
+  std::int64_t total_ns() const { return root_.total_ns; }
+  /// spans()[name].self_ns, 0 when the name never occurred.
+  std::int64_t self_ns(const std::string& name) const;
+
+  /// The profile as a JSON object (the RunReport "profile" section):
+  /// {truncated, dropped_events, threads, events, total_ns,
+  ///  spans: {name: {count, total_ns, self_ns, min_ns, max_ns, mean_ns,
+  ///                 pow2_buckets}},
+  ///  tree: [{name, count, total_ns, self_ns, children: [...]}]}.
+  Json to_json() const;
+
+  /// Collapsed-stack (Brendan Gregg "folded") text: one "a;b;c <self_us>"
+  /// line per tree path with nonzero self time, root-first, children in
+  /// name order. flamegraph.pl and speedscope read it directly.
+  std::string collapsed_stacks() const;
+
+ private:
+  std::uint64_t dropped_events_ = 0;
+  std::size_t threads_ = 0;
+  std::size_t events_ = 0;
+  std::map<std::string, SpanStats> spans_;
+  ProfileNode root_;
+};
+
+/// Collapsed-stack text from an already-serialized profile section (the
+/// JSON shape Profile::to_json emits) — what `emc_report flame` uses to
+/// export flamegraphs from report files without rebuilding the Profile.
+std::string collapsed_stacks_from_profile_json(const Json& profile);
+
+}  // namespace emc::obs

@@ -1,10 +1,49 @@
 #include "obs/report.hpp"
 
+#include <thread>
+
+#include "obs/profile.hpp"
+#include "obs/resource.hpp"
+
 namespace emc::obs {
+
+Json host_info_json() {
+  Json o = Json::object();
+  o.set("cpus", Json::integer(static_cast<long>(std::thread::hardware_concurrency())));
+#if defined(__linux__)
+  o.set("os", Json::string("linux"));
+#elif defined(__APPLE__)
+  o.set("os", Json::string("macos"));
+#elif defined(_WIN32)
+  o.set("os", Json::string("windows"));
+#else
+  o.set("os", Json::string("unknown"));
+#endif
+#if defined(__clang__)
+  o.set("compiler", Json::string(std::string("clang ") + __clang_version__));
+#elif defined(__GNUC__)
+  o.set("compiler", Json::string(std::string("gcc ") + __VERSION__));
+#else
+  o.set("compiler", Json::string("unknown"));
+#endif
+#if defined(EMC_BUILD_TYPE)
+  o.set("build_type", Json::string(EMC_BUILD_TYPE));
+#else
+  o.set("build_type", Json::string(""));
+#endif
+#if defined(EMC_SANITIZE_BUILD)
+  o.set("sanitize", Json::boolean(true));
+#else
+  o.set("sanitize", Json::boolean(false));
+#endif
+  o.set("pointer_bits", Json::integer(static_cast<long>(sizeof(void*) * 8)));
+  return o;
+}
 
 RunReport::RunReport(std::string name) : doc_(Json::object()) {
   doc_.set("report", Json::string(std::move(name)));
-  doc_.set("schema_version", Json::integer(1));
+  doc_.set("schema_version", Json::integer(2));
+  doc_.set("host", host_info_json());
 }
 
 Json& RunReport::section(const std::string& key) {
@@ -40,6 +79,14 @@ void RunReport::add_trace_summary(const Tracer& tracer, const std::string& trace
   t.set("events", Json::integer(static_cast<long>(tracer.events().size())));
   t.set("dropped_events", Json::integer(static_cast<long>(tracer.dropped())));
   if (!trace_file.empty()) t.set("file", Json::string(trace_file));
+}
+
+void RunReport::add_profile(const Profile& profile) {
+  section("profile") = profile.to_json();
+}
+
+void RunReport::add_resources(const ResourceSampler& sampler, std::size_t max_series) {
+  section("resources") = sampler.to_json(max_series);
 }
 
 Json RunReport::to_json() const { return doc_; }

@@ -1,0 +1,168 @@
+#include "obs/resource.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define EMC_HAVE_GETRUSAGE 1
+#endif
+
+namespace emc::obs {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Resident pages from /proc/self/statm (field 2); 0 when unreadable.
+std::uint64_t statm_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long long size_pages = 0, resident_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::uint64_t>(resident_pages) *
+         static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+ResourceUsage sample_resources() {
+  ResourceUsage u;
+  u.t_ns = now_ns();
+  u.rss_bytes = statm_rss_bytes();
+#if defined(EMC_HAVE_GETRUSAGE)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    u.cpu_user_ns = static_cast<std::uint64_t>(ru.ru_utime.tv_sec) * 1000000000ull +
+                    static_cast<std::uint64_t>(ru.ru_utime.tv_usec) * 1000ull;
+    u.cpu_sys_ns = static_cast<std::uint64_t>(ru.ru_stime.tv_sec) * 1000000000ull +
+                   static_cast<std::uint64_t>(ru.ru_stime.tv_usec) * 1000ull;
+    if (u.rss_bytes == 0) {
+      // ru_maxrss is the peak RSS in kilobytes on Linux (bytes on macOS,
+      // where this branch is the primary source).
+#if defined(__APPLE__)
+      u.rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+      u.rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024ull;
+#endif
+      u.rss_is_peak = true;
+    }
+  }
+#endif
+  return u;
+}
+
+ResourceSampler::ResourceSampler() : ResourceSampler(Options{}) {}
+
+ResourceSampler::ResourceSampler(Options opt) : opt_(opt) {
+  if (opt_.interval_ms < 1) opt_.interval_ms = 1;
+  if (opt_.ring_capacity < 2) opt_.ring_capacity = 2;
+  ring_.resize(opt_.ring_capacity);
+}
+
+ResourceSampler::~ResourceSampler() { stop(); }
+
+void ResourceSampler::sample_locked() {
+  const ResourceUsage u = sample_resources();
+  if (stats_.samples == 0) first_t_ns_ = u.t_ns;
+  ++stats_.samples;
+  stats_.peak_rss_bytes = std::max(stats_.peak_rss_bytes, u.rss_bytes);
+  stats_.cpu_user_ns = u.cpu_user_ns;
+  stats_.cpu_sys_ns = u.cpu_sys_ns;
+  stats_.wall_ns = u.t_ns - first_t_ns_;
+  stats_.rss_is_peak = u.rss_is_peak;
+  if (count_ < ring_.size()) {
+    ring_[(head_ + count_) % ring_.size()] = u;
+    ++count_;
+  } else {
+    ring_[head_] = u;
+    head_ = (head_ + 1) % ring_.size();
+    ++stats_.dropped;
+  }
+}
+
+void ResourceSampler::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(opt_.interval_ms),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    sample_locked();
+  }
+}
+
+void ResourceSampler::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  sample_locked();
+  thread_ = std::thread([this] { loop(); });
+  running_ = true;
+}
+
+void ResourceSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+  sample_locked();
+}
+
+ResourceSampler::Stats ResourceSampler::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::vector<ResourceUsage> ResourceSampler::series() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ResourceUsage> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+Json ResourceSampler::to_json(std::size_t max_series) const {
+  const Stats s = stats();
+  const std::vector<ResourceUsage> ser = series();
+
+  Json o = Json::object();
+  o.set("samples", Json::integer(static_cast<long>(s.samples)));
+  o.set("dropped_samples", Json::integer(static_cast<long>(s.dropped)));
+  o.set("peak_rss_bytes", Json::integer(static_cast<long>(s.peak_rss_bytes)));
+  o.set("rss_is_peak_fallback", Json::boolean(s.rss_is_peak));
+  o.set("cpu_user_s", Json::number(static_cast<double>(s.cpu_user_ns) * 1e-9));
+  o.set("cpu_sys_s", Json::number(static_cast<double>(s.cpu_sys_ns) * 1e-9));
+  o.set("wall_s", Json::number(static_cast<double>(s.wall_ns) * 1e-9));
+
+  Json rows = Json::array();
+  if (!ser.empty() && max_series > 0) {
+    const std::size_t stride = (ser.size() + max_series - 1) / max_series;
+    for (std::size_t i = 0; i < ser.size(); i += stride) {
+      Json row = Json::object();
+      row.set("t_ms", Json::number(static_cast<double>(ser[i].t_ns - ser[0].t_ns) * 1e-6));
+      row.set("rss_bytes", Json::integer(static_cast<long>(ser[i].rss_bytes)));
+      rows.push(std::move(row));
+    }
+  }
+  o.set("rss_series", std::move(rows));
+  return o;
+}
+
+}  // namespace emc::obs

@@ -110,6 +110,11 @@ SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> res
                        const MarginHistogram& histogram_spec) {
   if (results.size() != grid.size())
     throw std::invalid_argument("summarize: results/grid size mismatch");
+  return summarize_shard(grid, results, histogram_spec);
+}
+
+SweepSummary summarize_shard(const CornerGrid& grid, std::span<const CornerResult> results,
+                             const MarginHistogram& histogram_spec) {
   if (histogram_spec.n_bins == 0 || !(histogram_spec.hi_db > histogram_spec.lo_db))
     throw std::invalid_argument("summarize: bad histogram spec");
 
@@ -170,24 +175,29 @@ SweepRunner::SweepRunner(std::size_t jobs)
 
 SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
                               const MarginHistogram& histogram_spec, std::size_t chunk,
-                              const ProgressFn& progress) {
+                              const ProgressFn& progress, ShardRange shard) {
   static const obs::Counter c_sweeps("sweep.runs");
   static const obs::Counter c_corners("sweep.corners");
   obs::Span span("sweep");
   c_sweeps.add();
 
+  shard.end = std::min(shard.end, grid.size());
+  if (shard.begin > shard.end)
+    throw std::invalid_argument("SweepRunner::run: shard begin past end");
+  const std::size_t n = shard.end - shard.begin;
+
   SweepOutcome out;
-  out.results.resize(grid.size());
+  out.results.resize(n);
   pool_.reset_worker_stats();
   std::atomic<std::size_t> done{0};
 
   pool_.parallel_for(
-      grid.size(),
+      n,
       [&](std::size_t index, std::size_t worker) {
         obs::Span corner_span("corner");
         const auto t0 = std::chrono::steady_clock::now();
         CornerResult& slot = out.results[index];
-        slot.scenario = grid.at(index);
+        slot.scenario = grid.at(shard.begin + index);
         Workspace& ws = workspaces_[worker];
         slot.report = fn(slot.scenario, ws);
         // Memory and solver accounting ride the workspace (the corner
@@ -203,13 +213,15 @@ SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
         slot.wall_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
         if (progress)
-          progress(done.fetch_add(1, std::memory_order_relaxed) + 1, grid.size());
+          progress(done.fetch_add(1, std::memory_order_relaxed) + 1, n);
       },
       chunk);
 
-  c_corners.add(grid.size());
+  c_corners.add(n);
   out.workers = pool_.worker_stats();
-  out.summary = summarize(grid, out.results, histogram_spec);
+  out.summary = shard.whole_grid(grid.size())
+                    ? summarize(grid, out.results, histogram_spec)
+                    : summarize_shard(grid, out.results, histogram_spec);
   return out;
 }
 

@@ -145,10 +145,31 @@ struct SweepOutcome {
   std::vector<WorkerStats> workers;
 };
 
+/// Contiguous grid-index range [begin, end) for sharded sweeps. The
+/// default covers the whole grid; `end` is clamped to grid.size(). Shards
+/// run over the SAME grid (not a sub-grid), so every shard's summary keeps
+/// the full per-axis table shape and N shard reports merged with
+/// obs::merge_run_reports equal the single-process report field for field.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = SIZE_MAX;
+
+  bool whole_grid(std::size_t grid_size) const {
+    return begin == 0 && end >= grid_size;
+  }
+};
+
 /// Deterministic sequential aggregation of per-corner reports (exposed
 /// separately so tests can feed hand-built reports).
 SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> results,
                        const MarginHistogram& histogram_spec = {});
+
+/// summarize() for a shard: `results` covers any subset of the grid's
+/// corners (each CornerResult carries its own Scenario). Axis tables keep
+/// the full grid shape; values whose corners live outside the shard stay
+/// at the +infinity "nothing scored" sentinel.
+SweepSummary summarize_shard(const CornerGrid& grid, std::span<const CornerResult> results,
+                             const MarginHistogram& histogram_spec = {});
 
 /// Owns the thread pool and one Workspace per worker.
 class SweepRunner {
@@ -169,9 +190,12 @@ class SweepRunner {
   /// `chunk` consecutive corners are claimed per scheduling step (pass
   /// emission_chunk_hint(grid) so corners sharing a transient stay on one
   /// worker and its record memo hits); results are chunk-invariant.
+  /// `shard` restricts the run to a contiguous grid-index range for
+  /// sharded execution: results hold only that range (grid order) and the
+  /// summary comes from summarize_shard().
   SweepOutcome run(const CornerGrid& grid, const CornerFn& fn,
                    const MarginHistogram& histogram_spec = {}, std::size_t chunk = 1,
-                   const ProgressFn& progress = {});
+                   const ProgressFn& progress = {}, ShardRange shard = {});
 
  private:
   ThreadPool pool_;

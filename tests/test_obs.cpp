@@ -392,7 +392,8 @@ TEST(ObsReport, SectionsSettersMetricsAndTraceSummary) {
 
   const Json j = report.to_json();
   EXPECT_EQ(j.at("report").as_string(), "demo");
-  EXPECT_EQ(j.at("schema_version").as_integer(), 1);
+  EXPECT_EQ(j.at("schema_version").as_integer(), 2);
+  EXPECT_GT(j.at("host").at("cpus").as_integer(), 0);
   EXPECT_EQ(j.at("solver").at("kind").as_string(), "sparse");
   EXPECT_EQ(j.at("solver").at("newton_iters").as_integer(), 42);
   EXPECT_EQ(j.at("solver").at("restamps").as_integer(), 0);
@@ -403,9 +404,11 @@ TEST(ObsReport, SectionsSettersMetricsAndTraceSummary) {
   EXPECT_EQ(j.at("trace").at("threads").as_integer(), 1);
   EXPECT_EQ(j.at("trace").at("file").as_string(), "demo.trace.json");
 
-  // Section order is creation order: solver before timing.
-  EXPECT_EQ(j.fields()[2].first, "solver");
-  EXPECT_EQ(j.fields()[3].first, "timing");
+  // Section order is creation order after the automatic host section:
+  // solver before timing.
+  EXPECT_EQ(j.fields()[2].first, "host");
+  EXPECT_EQ(j.fields()[3].first, "solver");
+  EXPECT_EQ(j.fields()[4].first, "timing");
 
   const std::string path = testing::TempDir() + "test_obs.report.json";
   ASSERT_TRUE(report.write(path));

@@ -1,0 +1,292 @@
+// Tests of obs::Profile (span aggregation: flat table, call tree, self
+// time, collapsed-stack export, truncation flag) and obs::ResourceSampler
+// (on-demand sampling, background ring, JSON export).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/profile.hpp"
+#include "obs/resource.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace emc;
+using obs::Json;
+using obs::Profile;
+using obs::TraceEvent;
+
+// Hand-built event stream in Tracer::events() order — (tid, start,
+// longest-first), parents before children. Two threads:
+//
+//   tid 0: a [0, 10ms)                    tid 1: d [0, 4ms)
+//            b [0.1ms, +3ms)                       c [0.1ms, +1ms)
+//              c [0.15ms, +1ms)
+//            b [5ms, +2ms)
+//          a [20ms, +5ms)
+std::vector<TraceEvent> nested_events() {
+  return {
+      {"a", 0, 0, 0, 10'000'000},
+      {"b", 0, 1, 100'000, 3'000'000},
+      {"c", 0, 2, 150'000, 1'000'000},
+      {"b", 0, 1, 5'000'000, 2'000'000},
+      {"a", 0, 0, 20'000'000, 5'000'000},
+      {"d", 1, 0, 0, 4'000'000},
+      {"c", 1, 1, 100'000, 1'000'000},
+  };
+}
+
+TEST(ObsProfile, FlatTableAggregatesByName) {
+  const auto events = nested_events();
+  const Profile p = Profile::build(events, 0, 2);
+
+  EXPECT_FALSE(p.truncated());
+  EXPECT_EQ(p.dropped_events(), 0u);
+  EXPECT_EQ(p.threads(), 2u);
+  EXPECT_EQ(p.events(), events.size());
+
+  ASSERT_EQ(p.spans().size(), 4u);
+  const auto& a = p.spans().at("a");
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.total_ns, 15'000'000);
+  EXPECT_EQ(a.self_ns, 10'000'000);  // minus the two b children
+  EXPECT_EQ(a.min_ns, 5'000'000);
+  EXPECT_EQ(a.max_ns, 10'000'000);
+
+  const auto& b = p.spans().at("b");
+  EXPECT_EQ(b.count, 2u);
+  EXPECT_EQ(b.total_ns, 5'000'000);
+  EXPECT_EQ(b.self_ns, 4'000'000);  // minus the nested c
+
+  // c is a leaf in both trees: self == total, aggregated across threads.
+  const auto& c = p.spans().at("c");
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.total_ns, 2'000'000);
+  EXPECT_EQ(c.self_ns, 2'000'000);
+  EXPECT_EQ(c.min_ns, 1'000'000);
+  EXPECT_EQ(c.max_ns, 1'000'000);
+
+  const auto& d = p.spans().at("d");
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.self_ns, 3'000'000);
+
+  EXPECT_EQ(p.self_ns("a"), 10'000'000);
+  EXPECT_EQ(p.self_ns("never_traced"), 0);
+
+  // Top-level durations sum across threads into the synthetic root.
+  EXPECT_EQ(p.total_ns(), 19'000'000);
+}
+
+TEST(ObsProfile, TreeAggregatesByPathWithNameSortedChildren) {
+  const auto events = nested_events();
+  const Profile p = Profile::build(events, 0, 2);
+
+  const auto& root = p.root();
+  EXPECT_EQ(root.name, "");
+  EXPECT_EQ(root.self_ns, 0);  // synthetic root owns no time itself
+  ASSERT_EQ(root.children.size(), 2u);
+
+  const auto& a = root.children[0];
+  EXPECT_EQ(a.name, "a");
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.total_ns, 15'000'000);
+  EXPECT_EQ(a.self_ns, 10'000'000);
+  ASSERT_EQ(a.children.size(), 1u);
+  EXPECT_EQ(a.children[0].name, "b");
+  ASSERT_EQ(a.children[0].children.size(), 1u);
+
+  // The same name lands on different paths: c under a;b and c under d are
+  // distinct tree nodes even though the flat table folds them together.
+  const auto& c_under_b = a.children[0].children[0];
+  EXPECT_EQ(c_under_b.name, "c");
+  EXPECT_EQ(c_under_b.count, 1u);
+  EXPECT_EQ(c_under_b.total_ns, 1'000'000);
+
+  const auto& d = root.children[1];
+  EXPECT_EQ(d.name, "d");
+  ASSERT_EQ(d.children.size(), 1u);
+  EXPECT_EQ(d.children[0].name, "c");
+  EXPECT_EQ(d.children[0].count, 1u);
+
+  // Every node: self + sum(child totals) == total.
+  EXPECT_EQ(a.self_ns + a.children[0].total_ns, a.total_ns);
+  EXPECT_EQ(d.self_ns + d.children[0].total_ns, d.total_ns);
+}
+
+TEST(ObsProfile, CollapsedStacksMatchExactly) {
+  const Profile p = Profile::build(nested_events(), 0, 2);
+  EXPECT_EQ(p.collapsed_stacks(),
+            "a 10000\n"
+            "a;b 4000\n"
+            "a;b;c 1000\n"
+            "d 3000\n"
+            "d;c 1000\n");
+  // The free function reads the serialized section the same way.
+  EXPECT_EQ(obs::collapsed_stacks_from_profile_json(p.to_json()),
+            p.collapsed_stacks());
+}
+
+TEST(ObsProfile, JsonSectionIsSelfConsistent) {
+  const Profile p = Profile::build(nested_events(), 0, 2);
+  const Json j = Json::parse(p.to_json().dump());  // round-trips the parser
+
+  EXPECT_FALSE(j.at("truncated").as_bool());
+  EXPECT_EQ(j.at("threads").as_integer(), 2);
+  EXPECT_EQ(j.at("events").as_integer(), 7);
+  EXPECT_EQ(j.at("total_ns").as_integer(), 19'000'000);
+
+  for (const auto& [name, row] : j.at("spans").fields()) {
+    (void)name;
+    const long count = row.at("count").as_integer();
+    const double mean = row.at("mean_ns").as_double();
+    EXPECT_LE(row.at("min_ns").as_double(), mean);
+    EXPECT_LE(mean, row.at("max_ns").as_double());
+    // Histogram buckets account for every occurrence.
+    long in_buckets = 0;
+    for (const Json& b : row.at("pow2_buckets").items())
+      in_buckets += b.as_integer();
+    EXPECT_EQ(in_buckets, count);
+  }
+
+  // Tree nodes carry the same invariant after serialization.
+  const Json& a = j.at("tree")[0];
+  EXPECT_EQ(a.at("name").as_string(), "a");
+  EXPECT_EQ(a.at("self_ns").as_integer() +
+                a.at("children")[0].at("total_ns").as_integer(),
+            a.at("total_ns").as_integer());
+}
+
+TEST(ObsProfile, DroppedEventsFlagTruncation) {
+  const Profile clean = Profile::build(nested_events(), 0, 2);
+  EXPECT_FALSE(clean.truncated());
+
+  const Profile truncated = Profile::build(nested_events(), 3, 2);
+  EXPECT_TRUE(truncated.truncated());
+  EXPECT_EQ(truncated.dropped_events(), 3u);
+
+  // An orphaned event (depth beyond any retained parent) still lands in
+  // the profile, clamped to the deepest retained ancestor.
+  const std::vector<TraceEvent> orphaned = {
+      {"root", 0, 0, 0, 1'000'000},
+      {"deep", 0, 5, 100, 1'000},  // parents at depths 1..4 were dropped
+  };
+  const Profile best_effort = Profile::build(orphaned, 4, 1);
+  EXPECT_TRUE(best_effort.truncated());
+  ASSERT_EQ(best_effort.root().children.size(), 1u);
+  ASSERT_EQ(best_effort.root().children[0].children.size(), 1u);
+  EXPECT_EQ(best_effort.root().children[0].children[0].name, "deep");
+}
+
+TEST(ObsProfile, BuildsFromLiveTracer) {
+  obs::Tracer tracer;
+  tracer.install();
+  {
+    obs::Span outer("outer");
+    for (int i = 0; i < 3; ++i) {
+      obs::Span inner("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  tracer.uninstall();
+
+  const Profile p = Profile::build(tracer);
+  EXPECT_FALSE(p.truncated());
+  EXPECT_EQ(p.events(), 4u);
+  ASSERT_EQ(p.spans().count("outer"), 1u);
+  ASSERT_EQ(p.spans().count("inner"), 1u);
+  EXPECT_EQ(p.spans().at("inner").count, 3u);
+
+  const auto& outer = p.spans().at("outer");
+  const auto& inner = p.spans().at("inner");
+  EXPECT_EQ(outer.self_ns, outer.total_ns - inner.total_ns);
+  EXPECT_GE(inner.total_ns, 3'000'000);  // three 1 ms sleeps
+  EXPECT_NE(p.collapsed_stacks().find("outer;inner "), std::string::npos);
+}
+
+TEST(ObsProfile, OverflowingTracerYieldsTruncatedProfile) {
+  obs::Tracer tracer(4);  // ring keeps 4 events per thread
+  tracer.install();
+  for (int i = 0; i < 10; ++i) { obs::Span s("work"); }
+  tracer.uninstall();
+
+  ASSERT_GT(tracer.dropped(), 0u);
+  const Profile p = Profile::build(tracer);
+  EXPECT_TRUE(p.truncated());
+  EXPECT_EQ(p.dropped_events(), tracer.dropped());
+  EXPECT_TRUE(p.to_json().at("truncated").as_bool());
+}
+
+// -------------------------------------------------------------- resources
+
+TEST(ObsResource, OnDemandSampleReadsTheProcess) {
+  const auto u = obs::sample_resources();
+#ifdef __linux__
+  EXPECT_GT(u.rss_bytes, 0u);  // a running test binary is resident
+#endif
+  // CPU times only move forward.
+  const auto v = obs::sample_resources();
+  EXPECT_GE(v.cpu_user_ns + v.cpu_sys_ns, u.cpu_user_ns + u.cpu_sys_ns);
+}
+
+TEST(ObsResource, SamplerCollectsAtLeastStartAndStopSamples) {
+  obs::ResourceSampler sampler({/*interval_ms=*/5, /*ring_capacity=*/64});
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+
+  const auto stats = sampler.stats();
+  EXPECT_GE(stats.samples, 2u);  // immediate start sample + final stop sample
+#ifdef __linux__
+  EXPECT_GT(stats.peak_rss_bytes, 0u);
+#endif
+  EXPECT_GE(stats.wall_ns, 0);
+
+  const auto series = sampler.series();
+  EXPECT_EQ(series.size(), stats.samples - stats.dropped);
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_GE(series[i].t_ns, series[i - 1].t_ns);  // oldest first
+  // stop() is idempotent and the data survives it.
+  sampler.stop();
+  EXPECT_EQ(sampler.stats().samples, stats.samples);
+}
+
+TEST(ObsResource, RingOverflowKeepsPeakExact) {
+  obs::ResourceSampler sampler({/*interval_ms=*/1, /*ring_capacity=*/4});
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.stop();
+
+  const auto stats = sampler.stats();
+  EXPECT_LE(sampler.series().size(), 4u);  // bounded by the ring
+  EXPECT_EQ(stats.dropped, stats.samples - sampler.series().size());
+  // The peak tracks every sample, including overwritten ones.
+  for (const auto& s : sampler.series())
+    EXPECT_LE(s.rss_bytes, stats.peak_rss_bytes);
+}
+
+TEST(ObsResource, JsonSectionParsesAndDecimates) {
+  obs::ResourceSampler sampler({/*interval_ms=*/1, /*ring_capacity=*/256});
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  sampler.stop();
+
+  const Json j = Json::parse(sampler.to_json(/*max_series=*/4).dump());
+  EXPECT_GE(j.at("samples").as_integer(), 2);
+  EXPECT_GE(j.at("peak_rss_bytes").as_integer(), 0);
+  EXPECT_GE(j.at("cpu_user_s").as_double(), 0.0);
+  EXPECT_GE(j.at("wall_s").as_double(), 0.0);
+  EXPECT_LE(j.at("rss_series").size(), 4u);  // decimated, not truncated
+  for (const Json& row : j.at("rss_series").items()) {
+    EXPECT_GE(row.at("t_ms").as_double(), 0.0);
+    EXPECT_GE(row.at("rss_bytes").as_integer(), 0);
+  }
+}
+
+}  // namespace
