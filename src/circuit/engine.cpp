@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -9,6 +11,7 @@
 #include "linalg/decomp.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/fault.hpp"
 
 namespace emc::ckt {
 
@@ -137,6 +140,22 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
   std::size_t buffered = 0;     ///< frames staged in stream_buf
   std::size_t flushed = 0;      ///< frames already delivered to the sink
 
+  const robust::FaultCtx fctx = detail::fault_ctx(opt);
+  double t_now = opt.t_start;
+
+  // Chunk delivery; an injected write failure throws before the sink sees
+  // the chunk (a real sink exception propagates as-is from consume()).
+  const auto deliver = [&](std::size_t first, std::size_t frames) {
+    if (robust::fault(robust::FaultSite::kSinkWrite, fctx)) {
+      auto info = detail::solve_error_info(robust::FailureKind::kSinkFailure,
+                                           "run_transient", opt, t_now, ws);
+      info.detail = "injected sink write failure";
+      throw robust::SolveError(std::move(info));
+    }
+    sig::SampleChunk chunk{first, frames, channels, ws.stream_buf.data()};
+    sink.consume(chunk);
+  };
+
   const auto stage_frame = [&] {
     double* dst = ws.stream_buf.data() + buffered * channels;
     for (std::size_t c = 0; c < channels; ++c) {
@@ -144,8 +163,7 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
       dst[c] = id == 0 ? 0.0 : x[static_cast<std::size_t>(id) - 1];
     }
     if (++buffered == chunk_frames) {
-      sig::SampleChunk chunk{flushed, buffered, channels, ws.stream_buf.data()};
-      sink.consume(chunk);
+      deliver(flushed, buffered);
       flushed += buffered;
       buffered = 0;
     }
@@ -156,7 +174,25 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
   std::vector<double> x_prev = x;
   for (std::size_t k = 1; k <= n_steps; ++k) {
     const double t = opt.t_start + opt.dt * static_cast<double>(k);
+    t_now = t;
     obs::Span step_span("newton_step");
+
+    // Per-step cooperative cancellation (newton_solve also checks per
+    // iteration, so one stuck solve cannot overrun the budget by a corner).
+    const bool forced_overrun = robust::fault(robust::FaultSite::kDeadline, fctx);
+    if (forced_overrun || (opt.deadline != nullptr && opt.deadline->expired())) {
+      auto info = detail::solve_error_info(robust::FailureKind::kDeadlineExceeded,
+                                           "run_transient", opt, t, ws);
+      if (forced_overrun) {
+        info.detail = "injected deadline overrun";
+      } else {
+        char detail[64];
+        std::snprintf(detail, sizeof detail, "wall budget %.3g s exhausted",
+                      opt.deadline->budget_s());
+        info.detail = detail;
+      }
+      throw robust::SolveError(std::move(info));
+    }
 
     {
       SimState st{x_prev, x_prev, t, opt.dt, false, 1.0};
@@ -168,14 +204,19 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
     const bool ok = detail::newton_solve(ckt, ws, linear, x, x_prev, t, opt.dt, false, 1.0,
                                          opt, &stats);
     h_step_iters.record(static_cast<std::uint64_t>(stats.total_newton_iters - iters_before));
-    if (!ok) {
+    const bool poisoned = robust::fault(robust::FaultSite::kTransientStep, fctx);
+    if (poisoned) x[0] = std::numeric_limits<double>::quiet_NaN();
+    if (!ok || poisoned) {
       // Accept weakly converged steps (common right on a switching edge);
       // a genuinely diverged solve produces NaNs that we reject.
       bool finite = true;
       for (double v : x) finite = finite && std::isfinite(v);
-      if (!finite)
-        throw std::runtime_error("run_transient: Newton diverged at t = " +
-                                 std::to_string(t));
+      if (!finite) {
+        auto info = detail::solve_error_info(robust::FailureKind::kTransientDivergence,
+                                             "run_transient", opt, t, ws);
+        if (poisoned) info.detail = "injected NaN residual";
+        throw robust::SolveError(std::move(info));
+      }
       ++stats.weak_steps;
     }
 
@@ -188,10 +229,7 @@ SolveStats run_transient_streamed(Circuit& ckt, const TransientOptions& opt,
     ++stats.steps;
   }
 
-  if (buffered > 0) {
-    sig::SampleChunk chunk{flushed, buffered, channels, ws.stream_buf.data()};
-    sink.consume(chunk);
-  }
+  if (buffered > 0) deliver(flushed, buffered);
   sink.finish();
 
   stats.used_sparse = ws.sp_tr.use_sparse == 1 ? 1 : 0;

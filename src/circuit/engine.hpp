@@ -13,6 +13,7 @@
 #include "circuit/netlist.hpp"
 #include "linalg/decomp.hpp"
 #include "linalg/sparse.hpp"
+#include "robust/error.hpp"
 #include "signal/sample_sink.hpp"
 #include "signal/waveform.hpp"
 
@@ -55,6 +56,17 @@ struct TransientOptions {
   std::size_t sparse_min_unknowns = 64;
   /// kAuto: densest pattern (nnz / n^2) still solved sparsely.
   double sparse_max_density = 0.25;
+
+  /// Run identity for failure reports and the fault-injection harness
+  /// (the sweep layer sets it to the corner's transient key). Carried
+  /// into every robust::SolveError thrown by this run; empty is fine.
+  std::string context;
+
+  /// Cooperative wall-clock deadline: checked once per time step and once
+  /// per Newton iteration; expiry throws robust::SolveError
+  /// (kDeadlineExceeded). Null = no deadline. The pointee must outlive
+  /// the run; the retry ladder arms a fresh one per attempt.
+  const robust::Deadline* deadline = nullptr;
 };
 
 /// Per-mode sparse solve state inside a NewtonWorkspace (the DC and
@@ -124,6 +136,14 @@ class NewtonWorkspace {
   /// Sparse solve state, one per stamping mode (transient / DC).
   SparseSystem sp_tr;
   SparseSystem sp_dc;
+
+  /// |dx|_inf per iteration of the most recent damped Newton solve,
+  /// oldest-first and capped at kResidualHistoryCap (older entries are
+  /// dropped). Failure reports copy it into SolveErrorInfo so a diverging
+  /// solve's trajectory survives the throw. The linear fast path leaves
+  /// it empty.
+  static constexpr std::size_t kResidualHistoryCap = 12;
+  std::vector<double> residual_history;
 };
 
 struct SolveStats {
@@ -185,8 +205,9 @@ class TransientResult {
 
 /// Solve the DC operating point (writes the solution into x, whose size
 /// must be the circuit's unknown count). Uses damped Newton with gmin and
-/// source stepping as fallbacks. Throws std::runtime_error if everything
-/// fails.
+/// source stepping as fallbacks. Throws robust::SolveError (IS-A
+/// std::runtime_error; info() carries the failure kind, the schedule
+/// attempted and the Newton residual history) if everything fails.
 void dc_operating_point(Circuit& ckt, std::vector<double>& x, const TransientOptions& opt);
 
 /// Run a transient analysis; the result holds every unknown at every step

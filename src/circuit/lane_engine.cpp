@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -9,6 +11,7 @@
 #include "circuit/stampers.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/fault.hpp"
 
 namespace emc::ckt {
 
@@ -16,7 +19,8 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
                                  const TransientOptions& opt, LaneWorkspace& ws,
                                  std::span<const int> probes,
                                  std::span<sig::SampleSink* const> sinks,
-                                 std::size_t chunk_frames) {
+                                 std::size_t chunk_frames,
+                                 std::span<const std::string> lane_keys) {
   static const obs::Counter c_runs("ckt.lanes.runs");
   static const obs::Counter c_lanes("ckt.lanes.lanes");
   static const obs::Counter c_batched_walk("ckt.lanes.batched_walk_entries");
@@ -34,6 +38,8 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
   if (opt.dt <= 0.0) throw std::invalid_argument("run_transient: dt must be positive");
   if (chunk_frames == 0)
     throw std::invalid_argument("run_transient_lanes: chunk_frames must be >= 1");
+  if (!lane_keys.empty() && lane_keys.size() != lanes.size())
+    throw std::invalid_argument("run_transient_lanes: need one key per lane (or none)");
 
   const int n_unknowns = lanes[0]->finalize();
   for (Circuit* c : lanes)
@@ -51,6 +57,28 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
 
   LaneRunStats stats;
   stats.lanes.assign(L, SolveStats{});
+  stats.failures.assign(L, LaneFailure{});
+
+  // Per-lane identity for failure reports and the fault harness: the
+  // caller's key when given, the run context otherwise.
+  const auto lane_opt = [&](std::size_t l) {
+    TransientOptions o = opt;
+    if (!lane_keys.empty()) o.context = lane_keys[l];
+    return o;
+  };
+  const auto lane_fctx = [&](std::size_t l) {
+    robust::FaultCtx ctx = detail::fault_ctx(opt);
+    if (!lane_keys.empty()) ctx.key = lane_keys[l];
+    return ctx;
+  };
+
+  std::vector<char> failed(L, 0);
+  const auto mark_failed = [&](std::size_t l, double t, std::string message) {
+    failed[l] = 1;
+    stats.failures[l].failed = true;
+    stats.failures[l].t = t;
+    stats.failures[l].message = std::move(message);
+  };
 
   for (Circuit* c : lanes)
     for (const auto& dev : c->devices()) dev->reset();
@@ -68,8 +96,16 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
   if (opt.dc_start) {
     for (std::size_t l = 0; l < L; ++l) {
       ws.scalar.invalidate();
-      detail::dc_operating_point_impl(*lanes[l], ws.scalar, linear, x[l], opt,
-                                      &stats.lanes[l]);
+      // Per-lane DC failure isolation: the failing lane freezes at zeros
+      // and streams zero frames; the rest of the batch proceeds.
+      try {
+        detail::dc_operating_point_impl(*lanes[l], ws.scalar, linear, x[l], lane_opt(l),
+                                        &stats.lanes[l]);
+      } catch (const robust::SolveError& e) {
+        std::fill(x[l].begin(), x[l].end(), 0.0);
+        mark_failed(l, opt.t_start, e.what());
+        continue;
+      }
       SimState st{x[l], x[l], opt.t_start, 0.0, true, 1.0};
       for (const auto& dev : lanes[l]->devices()) dev->post_dc(st);
     }
@@ -124,6 +160,15 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
       const bool restamp_all = attempt > 0;
       std::vector<linalg::SparseCoord> missed;
       for (std::size_t l = 0; l < L; ++l) {
+        if (failed[l]) {
+          // A frozen lane is identity-stamped (solution = x_prev): its
+          // device state and iterates may be poisoned, and the shared
+          // batched factor must never see non-finite values.
+          ws.a.clear_lane(l);
+          for (std::size_t i = 0; i < n; ++i) ws.rhs[i * L + l] = x_prev[l][i];
+          ws.a.add_diag(1.0, l);
+          continue;
+        }
         if (!restamp_all && !active[l]) continue;
         ws.a.clear_lane(l);
         for (std::size_t i = 0; i < n; ++i) ws.rhs[i * L + l] = 0.0;
@@ -134,8 +179,11 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
         missed.insert(missed.end(), st.missed().begin(), st.missed().end());
       }
       if (missed.empty()) return;
-      if (attempt >= 3)
-        throw std::runtime_error("run_transient_lanes: sparse pattern failed to stabilize");
+      if (attempt >= 3) {
+        auto info = detail::solve_error_info(robust::FailureKind::kPatternUnstable,
+                                             "run_transient_lanes", opt, t, ws.scalar);
+        throw robust::SolveError(std::move(info));
+      }
       ws.coords.insert(ws.coords.end(), missed.begin(), missed.end());
       ws.pattern = linalg::SparsePattern::build(n, ws.coords);
       ws.a.set_pattern(&ws.pattern, L);
@@ -147,7 +195,20 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
   for (std::size_t k = 1; k <= n_steps; ++k) {
     const double t = opt.t_start + opt.dt * static_cast<double>(k);
 
+    // Shared deadline: a lane batch has no per-lane wall accounting, so
+    // expiry is batch-fatal (the sweep layer retries lanes individually).
+    if (opt.deadline != nullptr && opt.deadline->expired()) {
+      auto info = detail::solve_error_info(robust::FailureKind::kDeadlineExceeded,
+                                           "run_transient_lanes", opt, t, ws.scalar);
+      char detail_buf[64];
+      std::snprintf(detail_buf, sizeof detail_buf, "wall budget %.3g s exhausted",
+                    opt.deadline->budget_s());
+      info.detail = detail_buf;
+      throw robust::SolveError(std::move(info));
+    }
+
     for (std::size_t l = 0; l < L; ++l) {
+      if (failed[l]) continue;
       SimState st{x_prev[l], x_prev[l], t, opt.dt, false, 1.0};
       for (const auto& dev : lanes[l]->devices()) dev->start_step(st);
     }
@@ -176,7 +237,8 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
       // run, one batched back-substitution per step.
       std::fill(active.begin(), active.end(), 1);
       assemble(active, t);
-      for (std::size_t l = 0; l < L; ++l) ++stats.lanes[l].total_newton_iters;
+      for (std::size_t l = 0; l < L; ++l)
+        if (!failed[l]) ++stats.lanes[l].total_newton_iters;
       bool factored = num_cached;
       if (!num_cached) {
         try {
@@ -187,7 +249,8 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
         } catch (const std::runtime_error&) {
           // Singular system: same policy as the scalar linear path — keep
           // the warm-started state and count the step as weakly converged.
-          for (std::size_t l = 0; l < L; ++l) ++stats.lanes[l].weak_steps;
+          for (std::size_t l = 0; l < L; ++l)
+            if (!failed[l]) ++stats.lanes[l].weak_steps;
         }
       }
       if (factored) {
@@ -195,12 +258,17 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
         ws.lu.solve_lanes_in_place(ws.x_new);
         stats.batched_walk_entries += ws.lu.solve_walk();
         stats.scalar_walk_entries += L * ws.lu.solve_walk();
-        for (std::size_t l = 0; l < L; ++l)
+        for (std::size_t l = 0; l < L; ++l) {
+          if (failed[l]) continue;  // frozen lanes keep the warm-started x_prev
           for (std::size_t i = 0; i < n; ++i) x[l][i] = ws.x_new[i * L + l];
+        }
       }
     } else {
-      std::fill(active.begin(), active.end(), 1);
-      std::size_t n_active = L;
+      std::size_t n_active = 0;
+      for (std::size_t l = 0; l < L; ++l) {
+        active[l] = failed[l] ? 0 : 1;
+        n_active += active[l];
+      }
       for (int it = 0; it < opt.max_newton && n_active > 0; ++it) {
         for (std::size_t l = 0; l < L; ++l)
           if (active[l]) ++stats.lanes[l].total_newton_iters;
@@ -236,25 +304,43 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
       }
       for (std::size_t l = 0; l < L; ++l) {
         if (!active[l]) continue;
-        // Same policy as the scalar engine: accept weakly converged steps,
-        // reject genuine divergence (NaNs).
+        // Same policy as the scalar engine: accept weakly converged steps;
+        // genuine divergence (NaNs) is isolated by the block below.
         bool finite = true;
         for (double v : x[l]) finite = finite && std::isfinite(v);
-        if (!finite)
-          throw std::runtime_error("run_transient_lanes: Newton diverged at t = " +
-                                   std::to_string(t) + " (lane " + std::to_string(l) +
-                                   ")");
-        ++stats.lanes[l].weak_steps;
+        if (finite) ++stats.lanes[l].weak_steps;
       }
     }
 
+    // Fault injection + divergence isolation (both paths): a lane whose
+    // iterate went non-finite is frozen at its last committed state and
+    // the batch continues — the surviving lanes never notice.
     for (std::size_t l = 0; l < L; ++l) {
+      if (failed[l]) continue;
+      const bool poisoned = robust::fault(robust::FaultSite::kLaneStep, lane_fctx(l));
+      if (poisoned) x[l][0] = std::numeric_limits<double>::quiet_NaN();
+      bool finite = true;
+      for (double v : x[l]) finite = finite && std::isfinite(v);
+      if (finite) continue;
+      ckt::TransientOptions lopt = lane_opt(l);
+      auto info = detail::solve_error_info(robust::FailureKind::kTransientDivergence,
+                                           "run_transient_lanes", lopt, t, ws.scalar);
+      info.detail = poisoned ? "injected NaN residual (lane " + std::to_string(l) + ")"
+                             : "lane " + std::to_string(l);
+      x[l] = x_prev[l];
+      num_cached = false;  // the next factor must see the identity restamp
+      mark_failed(l, t, robust::SolveError(std::move(info)).what());
+    }
+
+    for (std::size_t l = 0; l < L; ++l) {
+      if (failed[l]) continue;
       SimState st{x[l], x_prev[l], t, opt.dt, false, 1.0};
       for (const auto& dev : lanes[l]->devices()) dev->commit(st);
     }
     stage_frame();
     for (std::size_t l = 0; l < L; ++l) std::swap(x_prev[l], x[l]);
-    for (std::size_t l = 0; l < L; ++l) ++stats.lanes[l].steps;
+    for (std::size_t l = 0; l < L; ++l)
+      if (!failed[l]) ++stats.lanes[l].steps;
   }
 
   if (buffered > 0) {
@@ -267,6 +353,8 @@ LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
   for (sig::SampleSink* s : sinks) s->finish();
 
   for (SolveStats& s : stats.lanes) s.used_sparse = 1;  // lane batching is sparse-only
+  for (const LaneFailure& f : stats.failures)
+    if (f.failed) ++stats.failed_lanes;
   c_runs.add();
   c_lanes.add(L);
   c_batched_walk.add(static_cast<std::uint64_t>(stats.batched_walk_entries));

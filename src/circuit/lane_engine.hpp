@@ -38,9 +38,26 @@ class LaneWorkspace {
   std::vector<double> stream_buf;  ///< per-lane chunk staging regions
 };
 
+/// One lane's failure record: lane-batch runs isolate a diverging lane
+/// (frozen at its last committed state, its sink still receives gap-free
+/// frames) instead of aborting the batch — the surviving lanes' records
+/// stay bit-identical to a clean run. Callers decide what to do with the
+/// failed lane (the sweep layer demotes it to a scalar retry).
+struct LaneFailure {
+  bool failed = false;
+  double t = 0.0;       ///< simulation time the lane froze (t_start for DC)
+  std::string message;  ///< formatted robust::SolveError text
+};
+
 /// What the batch did, per lane and in shared-structure walk currency.
 struct LaneRunStats {
   std::vector<SolveStats> lanes;  ///< one per lane, scalar-run semantics
+
+  /// One entry per lane; failures[l].failed marks a lane that diverged
+  /// (DC or stepping) and was frozen. Frames delivered after the failure
+  /// point repeat the last committed state — the record is not usable.
+  std::vector<LaneFailure> failures;
+  std::size_t failed_lanes = 0;
 
   /// Pattern entries the batched factor/solve kernels actually walked
   /// during the stepped transient (each walk shared by every lane), vs.
@@ -64,10 +81,22 @@ struct LaneRunStats {
 /// Each lane's sink sees exactly the stream run_transient_streamed would
 /// deliver for that circuit: begin() with the shared geometry, `probes`
 /// channels per frame, chunk_frames frames per chunk.
+///
+/// Failure isolation: a lane whose DC solve or stepped Newton solve
+/// diverges is recorded in LaneRunStats::failures and frozen (identity-
+/// stamped into the shared system so the batched factor stays regular)
+/// while the surviving lanes continue bit-identically to a clean run.
+/// Batch-level errors (shared deadline expiry, invalid arguments,
+/// mismatched topologies) still throw.
+///
+/// `lane_keys` (optional, size = lanes or empty) names each lane for
+/// failure reports and the fault-injection harness; empty falls back to
+/// opt.context for every lane.
 LaneRunStats run_transient_lanes(std::span<Circuit* const> lanes,
                                  const TransientOptions& opt, LaneWorkspace& ws,
                                  std::span<const int> probes,
                                  std::span<sig::SampleSink* const> sinks,
-                                 std::size_t chunk_frames = 1024);
+                                 std::size_t chunk_frames = 1024,
+                                 std::span<const std::string> lane_keys = {});
 
 }  // namespace emc::ckt

@@ -9,8 +9,36 @@
 #include "circuit/stampers.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/fault.hpp"
 
 namespace emc::ckt::detail {
+
+static_assert(static_cast<int>(SolverKind::kDense) == robust::kSolverDenseAsInt,
+              "robust::FaultSpec::spare_dense assumes SolverKind::kDense == 1");
+
+robust::FaultCtx fault_ctx(const TransientOptions& opt) {
+  robust::FaultCtx ctx;
+  ctx.key = opt.context;
+  ctx.solver = static_cast<int>(opt.solver);
+  ctx.dt = opt.dt;
+  ctx.gmin = opt.gmin;
+  ctx.dx_limit = opt.dx_limit;
+  return ctx;
+}
+
+robust::SolveErrorInfo solve_error_info(robust::FailureKind kind, const char* site,
+                                        const TransientOptions& opt, double t,
+                                        const NewtonWorkspace& ws) {
+  robust::SolveErrorInfo info;
+  info.kind = kind;
+  info.site = site;
+  info.context = opt.context;
+  info.t = t;
+  info.dt = opt.dt;
+  info.solver = static_cast<int>(opt.solver);
+  info.residual_history = ws.residual_history;
+  return info;
+}
 
 bool circuit_is_linear(const Circuit& ckt) {
   for (const auto& dev : ckt.devices())
@@ -95,7 +123,8 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
       // A device stamped outside the discovered pattern (state-dependent
       // structure): grow the pattern by the missed positions and retry.
       if (attempt >= 3)
-        throw std::runtime_error("newton_solve: sparse pattern failed to stabilize");
+        throw robust::SolveError(solve_error_info(robust::FailureKind::kPatternUnstable,
+                                                  "newton_solve", opt, t, ws));
       if (stats) ++stats->restamps;
       c_restamps.add();
       sys->coords.insert(sys->coords.end(), st.missed().begin(), st.missed().end());
@@ -107,6 +136,32 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
 
   const auto assemble = [&] { sys ? assemble_sparse() : assemble_dense(); };
 
+  const robust::FaultCtx fctx = fault_ctx(opt);
+  // Injected singular pivots throw (a recordable failure the retry ladder
+  // can escalate past); genuinely singular factorizations keep the
+  // historical return-false semantics (weak-step tolerance).
+  const auto probe_factor_fault = [&] {
+    if (!robust::fault(robust::FaultSite::kFactor, fctx)) return;
+    ws.lu_cached = false;
+    if (sys) sys->num_cached = false;
+    auto info = solve_error_info(robust::FailureKind::kSingularSystem, "newton_solve",
+                                 opt, t, ws);
+    info.detail = "injected singular pivot";
+    throw robust::SolveError(std::move(info));
+  };
+  const auto check_deadline = [&] {
+    if (opt.deadline == nullptr || !opt.deadline->expired()) return;
+    char detail[64];
+    std::snprintf(detail, sizeof detail, "wall budget %.3g s exhausted",
+                  opt.deadline->budget_s());
+    auto info = solve_error_info(robust::FailureKind::kDeadlineExceeded, "newton_solve",
+                                 opt, t, ws);
+    info.detail = detail;
+    throw robust::SolveError(std::move(info));
+  };
+
+  ws.residual_history.clear();
+
   if (linear && opt.cache_lu) {
     // Linear fast path: the Jacobian depends only on (dt, dc, gmin) —
     // never on t, x, or src_scale, which enter the right-hand side only —
@@ -114,6 +169,7 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
     // step. The single solve is exact; no damping loop is needed.
     assemble();
     if (stats) ++stats->total_newton_iters;
+    probe_factor_fault();
     if (sys) {
       if (!sys->num_cached || sys->key_dt != dt || sys->key_dc != dc ||
           sys->key_gmin != opt.gmin) {
@@ -153,8 +209,10 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
   }
 
   for (int it = 0; it < opt.max_newton; ++it) {
+    check_deadline();
     if (stats) ++stats->total_newton_iters;
     assemble();
+    probe_factor_fault();
     try {
       obs::Span sp_factor("factor");
       if (sys)
@@ -179,6 +237,9 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
     double dx_max = 0.0;
     for (std::size_t i = 0; i < n; ++i)
       dx_max = std::max(dx_max, std::abs(ws.x_new[i] - x[i]));
+    if (ws.residual_history.size() >= NewtonWorkspace::kResidualHistoryCap)
+      ws.residual_history.erase(ws.residual_history.begin());
+    ws.residual_history.push_back(dx_max);
 
     if (dx_max <= opt.tol) {
       std::copy(ws.x_new.begin(), ws.x_new.end(), x.begin());
@@ -201,6 +262,13 @@ void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
   static const obs::Counter c_src("ckt.dc.source_steps");
   obs::Span span("dc");
   c_runs.add();
+
+  if (robust::fault(robust::FaultSite::kDcSolve, fault_ctx(opt))) {
+    auto info = solve_error_info(robust::FailureKind::kDcDivergence,
+                                 "dc_operating_point", opt, opt.t_start, ws);
+    info.detail = "injected dc divergence";
+    throw robust::SolveError(std::move(info));
+  }
 
   // Local tally, folded into `stats` and the counters on every exit path —
   // the continuation history matters most when the solve throws.
@@ -260,15 +328,24 @@ void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
     o.gmin = 1e-9;
     note(scale);
     ++local.dc_source_steps;
-    if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, scale, o, &local))
-      throw std::runtime_error("dc_operating_point: no convergence at source scale " +
-                               std::to_string(scale) + " [attempted " + attempted + "]");
+    if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, scale, o,
+                      &local)) {
+      auto info = solve_error_info(robust::FailureKind::kDcDivergence,
+                                   "dc_operating_point", opt, opt.t_start, ws);
+      info.detail =
+          "no convergence at source scale " + std::to_string(scale) + " [attempted " +
+          attempted + "]";
+      throw robust::SolveError(std::move(info));
+    }
   }
   TransientOptions o = opt;
   o.max_newton = 300;
-  if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, 1.0, o, &local))
-    throw std::runtime_error("dc_operating_point: final polish failed [attempted " +
-                             attempted + "]");
+  if (!newton_solve(ckt, ws, linear, x, zeros, opt.t_start, 0.0, true, 1.0, o, &local)) {
+    auto info = solve_error_info(robust::FailureKind::kDcDivergence,
+                                 "dc_operating_point", opt, opt.t_start, ws);
+    info.detail = "final polish failed [attempted " + attempted + "]";
+    throw robust::SolveError(std::move(info));
+  }
 }
 
 }  // namespace emc::ckt::detail

@@ -6,8 +6,20 @@
 #include <vector>
 
 #include "circuit/engine.hpp"
+#include "robust/fault.hpp"
 
 namespace emc::ckt::detail {
+
+/// Fault-injection probe context for this run/attempt (robust::fault):
+/// the transient key plus the options the spare thresholds grade.
+robust::FaultCtx fault_ctx(const TransientOptions& opt);
+
+/// SolveErrorInfo skeleton shared by every engine throw site: kind, site,
+/// run context, time/step/solver of the attempt, and the workspace's
+/// Newton residual history.
+robust::SolveErrorInfo solve_error_info(robust::FailureKind kind, const char* site,
+                                        const TransientOptions& opt, double t,
+                                        const NewtonWorkspace& ws);
 
 /// True when no device's stamp depends on the candidate solution, i.e. the
 /// MNA system G x = rhs is solved exactly by a single factorization.
@@ -29,9 +41,9 @@ bool newton_solve(Circuit& ckt, NewtonWorkspace& ws, bool linear, std::vector<do
                   double src_scale, const TransientOptions& opt, SolveStats* stats);
 
 /// DC operating point with gmin continuation and source stepping; throws
-/// std::runtime_error (including the schedule attempted) when everything
-/// fails. When `stats` is non-null, fills dc_newton_iters /
-/// dc_gmin_stages / dc_source_steps (and restamps).
+/// robust::SolveError (kDcDivergence, detail = the schedule attempted)
+/// when everything fails. When `stats` is non-null, fills
+/// dc_newton_iters / dc_gmin_stages / dc_source_steps (and restamps).
 void dc_operating_point_impl(Circuit& ckt, NewtonWorkspace& ws, bool linear,
                              std::vector<double>& x, const TransientOptions& opt,
                              SolveStats* stats = nullptr);

@@ -150,7 +150,8 @@ Json merge_sweep_summary(const std::vector<const Json*>& vals) {
   return merge_object_fields(vals, [&](const std::string& key,
                                        const std::vector<const Json*>& fv) -> Json {
     if (key == "corners" || key == "passed" || key == "failed" ||
-        key == "uncovered" || key == "truncated")
+        key == "uncovered" || key == "truncated" || key == "solver_failed" ||
+        key == "recovered")
       return sum_integers(fv, key.c_str());
     if (key == "worst_margin_db" || key == "worst_corner" || key == "worst_label") {
       // Copied verbatim from the winning document so numeric formatting
@@ -200,9 +201,13 @@ Json merge_per_axis_worst(const std::vector<const Json*>& vals) {
     for (std::size_t k = 0; k < vals0.size(); ++k) {
       const std::string label = vals0[k].at("value").as_string();
       // min margin across documents; the winning document's JSON value is
-      // copied verbatim (same formatting as the unsharded emitter).
+      // copied verbatim (same formatting as the unsharded emitter). The
+      // per-value solver_failed count (newer reports only) sums.
       const Json* best = &vals0[k].at("worst_margin_db");
       double best_m = margin_value(*best);
+      const bool has_failed = vals0[k].find("solver_failed") != nullptr;
+      long failed_sum = 0;
+      if (has_failed) failed_sum = vals0[k].at("solver_failed").as_integer();
       for (std::size_t d = 1; d < vals.size(); ++d) {
         const Json& doc = *vals[d];
         for (std::size_t rr = 0; rr < doc.size(); ++rr) {
@@ -215,12 +220,16 @@ Json merge_per_axis_worst(const std::vector<const Json*>& vals) {
               best_m = margin_value(cand);
               best = &cand;
             }
+            if (has_failed)
+              if (const Json* f = wv[kk].find("solver_failed"))
+                failed_sum += f->as_integer();
           }
         }
       }
       Json v = Json::object();
       v.set("value", Json::string(label));
       v.set("worst_margin_db", *best);
+      if (has_failed) v.set("solver_failed", Json::integer(failed_sum));
       merged_vals.push(std::move(v));
     }
     row.set("worst_by_value", std::move(merged_vals));

@@ -1,0 +1,72 @@
+#include "robust/error.hpp"
+
+#include <cstdio>
+
+namespace emc::robust {
+
+const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kDcDivergence: return "dc_divergence";
+    case FailureKind::kTransientDivergence: return "transient_divergence";
+    case FailureKind::kSingularSystem: return "singular_system";
+    case FailureKind::kPatternUnstable: return "pattern_unstable";
+    case FailureKind::kDeadlineExceeded: return "deadline_exceeded";
+    case FailureKind::kSinkFailure: return "sink_failure";
+    case FailureKind::kInjectedFault: return "injected_fault";
+  }
+  return "unknown";
+}
+
+std::string SolveError::format(const SolveErrorInfo& info) {
+  std::string out = info.site.empty() ? std::string("solve") : info.site;
+  out += ": ";
+  out += failure_kind_name(info.kind);
+  char buf[64];
+  if (!info.corner.empty()) {
+    out += " [corner ";
+    if (info.corner_index >= 0) {
+      std::snprintf(buf, sizeof buf, "%ld ", info.corner_index);
+      out += buf;
+    }
+    out += info.corner;
+    out += "]";
+  }
+  if (info.t != 0.0) {
+    std::snprintf(buf, sizeof buf, " at t = %.6g", info.t);
+    out += buf;
+  }
+  if (info.dt > 0.0) {
+    std::snprintf(buf, sizeof buf, " (dt %.3g)", info.dt);
+    out += buf;
+  }
+  if (info.attempts > 0) {
+    std::snprintf(buf, sizeof buf, " after %d attempt%s", info.attempts,
+                  info.attempts == 1 ? "" : "s");
+    out += buf;
+  }
+  if (!info.residual_history.empty()) {
+    out += "; |dx| history:";
+    for (double r : info.residual_history) {
+      std::snprintf(buf, sizeof buf, " %.3g", r);
+      out += buf;
+    }
+  }
+  if (!info.detail.empty()) {
+    out += "; ";
+    out += info.detail;
+  }
+  return out;
+}
+
+SolveError::SolveError(SolveErrorInfo info)
+    : std::runtime_error(format(info)), info_(std::move(info)) {}
+
+SolveError with_corner(const SolveError& e, std::string corner_label,
+                       std::size_t corner_index) {
+  SolveErrorInfo info = e.info();
+  info.corner = std::move(corner_label);
+  info.corner_index = static_cast<long>(corner_index);
+  return SolveError(std::move(info));
+}
+
+}  // namespace emc::robust

@@ -16,6 +16,7 @@
 #include "core/driver_device.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/journal.hpp"
 
 namespace emc::sweep {
 
@@ -32,6 +33,37 @@ struct CornerTransient {
   std::size_t chunk_frames = 0;
   ckt::TransientOptions opt;
 };
+
+std::string emission_memo_key(const Scenario& sc) {
+  char key[96];
+  std::snprintf(key, sizeof key, "|%.17g|%.17g", sc.line_length, sc.load_c);
+  return sc.bits + key;
+}
+
+/// Base transient options of a corner — what build_emission_transient
+/// would set — without building the circuit. The retry ladder escalates
+/// from these; opt.context carries the corner's transient identity into
+/// failure reports and the fault harness.
+ckt::TransientOptions emission_base_options(const EmissionSweepConfig& cfg,
+                                            const Scenario& sc) {
+  const double period = cfg.bit_time * static_cast<double>(sc.bits.size());
+  ckt::TransientOptions opt;
+  opt.dt = cfg.dt;
+  opt.t_stop = period * static_cast<double>(cfg.periods);
+  opt.solver = cfg.solver;
+  opt.context = emission_memo_key(sc);
+  return opt;
+}
+
+/// cfg.retry with dt refinement forced off: the emission transient's
+/// engine step is pinned to the macromodel's sampling time Ts
+/// (DriverDevice rejects any other dt), so the ladder's "dt/2" stage must
+/// degrade to a plain re-attempt at the base step.
+robust::RetryPolicy emission_retry_policy(const EmissionSweepConfig& cfg) {
+  robust::RetryPolicy p = cfg.retry;
+  p.refine_dt = false;
+  return p;
+}
 
 std::unique_ptr<CornerTransient> build_emission_transient(const EmissionSweepConfig& cfg,
                                                           const Scenario& sc) {
@@ -55,9 +87,7 @@ std::unique_ptr<CornerTransient> build_emission_transient(const EmissionSweepCon
   c.add<core::DriverDevice>(a2, *cfg.model, quiet_bits, cfg.bit_time);
 
   const double period = cfg.bit_time * static_cast<double>(sc.bits.size());
-  out->opt.dt = cfg.dt;
-  out->opt.t_stop = period * static_cast<double>(cfg.periods);
-  out->opt.solver = cfg.solver;
+  out->opt = emission_base_options(cfg, sc);
   out->per_period = static_cast<std::size_t>(std::lround(period / cfg.dt));
   out->chunk_frames =
       std::clamp<std::size_t>(cfg.stream_budget_bytes / sizeof(double), 64, 65536);
@@ -98,13 +128,11 @@ void validate_emission_config(const EmissionSweepConfig& cfg, const char* who) {
     throw std::invalid_argument(std::string(who) + ": line must have 2 conductors");
 }
 
-std::string emission_memo_key(const Scenario& sc) {
-  char key[96];
-  std::snprintf(key, sizeof key, "|%.17g|%.17g", sc.line_length, sc.load_c);
-  return sc.bits + key;
-}
-
 }  // namespace
+
+std::string emission_transient_key(const Scenario& sc) {
+  return emission_memo_key(sc);
+}
 
 SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> results,
                        const MarginHistogram& histogram_spec) {
@@ -127,9 +155,12 @@ SweepSummary summarize_shard(const CornerGrid& grid, std::span<const CornerResul
   s.worst_corner = SIZE_MAX;
 
   s.axis_worst.resize(kNumAxes);
-  for (std::size_t a = 0; a < kNumAxes; ++a)
+  s.axis_solver_failed.resize(kNumAxes);
+  for (std::size_t a = 0; a < kNumAxes; ++a) {
     s.axis_worst[a].assign(grid.axis_size(static_cast<AxisId>(a)),
                            std::numeric_limits<double>::infinity());
+    s.axis_solver_failed[a].assign(grid.axis_size(static_cast<AxisId>(a)), 0);
+  }
 
   const double bin_width =
       (histogram_spec.hi_db - histogram_spec.lo_db) /
@@ -138,6 +169,15 @@ SweepSummary summarize_shard(const CornerGrid& grid, std::span<const CornerResul
   // Sequential, grid order: independent of how corners were scheduled.
   for (const CornerResult& r : results) {
     const auto& rep = r.report;
+    // Solver casualties first: their report is empty, but they must never
+    // drain into `uncovered` (that bucket is a mask-coverage property).
+    if (r.solver_failed) {
+      ++s.solver_failed;
+      for (std::size_t a = 0; a < kNumAxes; ++a)
+        ++s.axis_solver_failed[a][r.scenario.coord[a]];
+      continue;
+    }
+    if (r.recovered) ++s.recovered;
     if (rep.skipped_scan_points > 0) ++s.truncated;
     // Memory footprints count for every corner that ran, covered or not.
     s.peak_streamed_record_bytes =
@@ -176,11 +216,24 @@ SweepRunner::SweepRunner(std::size_t jobs)
 SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
                               const MarginHistogram& histogram_spec, std::size_t chunk,
                               const ProgressFn& progress, ShardRange shard) {
+  RunOptions opt;
+  opt.histogram = histogram_spec;
+  opt.chunk = chunk;
+  opt.progress = progress;
+  opt.shard = shard;
+  return run(grid, fn, opt);
+}
+
+SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
+                              const RunOptions& opt) {
   static const obs::Counter c_sweeps("sweep.runs");
   static const obs::Counter c_corners("sweep.corners");
+  static const obs::Counter c_isolated("sweep.corners_isolated");
+  static const obs::Counter c_resumed("sweep.corners_resumed");
   obs::Span span("sweep");
   c_sweeps.add();
 
+  ShardRange shard = opt.shard;
   shard.end = std::min(shard.end, grid.size());
   if (shard.begin > shard.end)
     throw std::invalid_argument("SweepRunner::run: shard begin past end");
@@ -188,41 +241,245 @@ SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
 
   SweepOutcome out;
   out.results.resize(n);
+
+  // Checkpoint resume: restore finished corners before opening the writer
+  // (which appends to the same file). Entries outside the shard belong to
+  // other shards sharing a journal directory convention; skip them.
+  std::vector<char> restored(n, 0);
+  std::unique_ptr<robust::JournalWriter> journal;
+  if (!opt.journal_path.empty()) {
+    for (const obs::Json& entry : robust::load_journal(opt.journal_path)) {
+      std::size_t gidx = 0;
+      CornerResult r = corner_from_journal(entry, gidx);
+      if (gidx < shard.begin || gidx >= shard.end) continue;
+      r.scenario = grid.at(gidx);
+      r.from_checkpoint = true;
+      restored[gidx - shard.begin] = 1;
+      out.results[gidx - shard.begin] = std::move(r);
+      c_resumed.add();
+    }
+    journal = std::make_unique<robust::JournalWriter>(opt.journal_path);
+    if (!journal->ok())
+      throw std::runtime_error("SweepRunner::run: cannot open journal " +
+                               opt.journal_path);
+  }
+
   pool_.reset_worker_stats();
   std::atomic<std::size_t> done{0};
+  std::atomic<bool> aborted{false};
 
   pool_.parallel_for(
       n,
       [&](std::size_t index, std::size_t worker) {
+        if (restored[index]) {
+          const std::size_t k = done.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (opt.progress) opt.progress(k, n);
+          return;
+        }
+        if (opt.stop && opt.stop->load(std::memory_order_acquire)) {
+          aborted.store(true, std::memory_order_relaxed);
+          return;
+        }
         obs::Span corner_span("corner");
         const auto t0 = std::chrono::steady_clock::now();
         CornerResult& slot = out.results[index];
         slot.scenario = grid.at(shard.begin + index);
+        // memo_attempts/memo_recovered are NOT reset per corner: like the
+        // rest of the memo they describe the transient behind memo_record,
+        // so a memo hit must inherit the producing attempt's ladder
+        // accounting (pure per key — a recovered transient marks every
+        // corner that reuses it as recovered).
         Workspace& ws = workspaces_[worker];
-        slot.report = fn(slot.scenario, ws);
-        // Memory and solver accounting ride the workspace (the corner
-        // function only returns a report): all three are pure functions of
-        // the memo key, so memo hits report the same values as the corner
-        // that ran the transient and the summary stays
-        // scheduling-independent.
-        slot.streamed_record_bytes = ws.memo_streamed_bytes;
-        slot.monolithic_record_bytes = ws.memo_monolithic_bytes;
-        slot.solve = ws.memo_solve;
-        slot.transient_reused = ws.memo_hit;
+        bool corner_ok = true;
+        if (opt.isolate_failures) {
+          try {
+            slot.report = fn(slot.scenario, ws);
+          } catch (const robust::SolveError& e) {
+            // Isolate: record the failure with the corner identity
+            // attached and keep sweeping. The workspace memo still
+            // describes the last corner that SUCCEEDED, so none of the
+            // memo-derived accounting below may be copied.
+            corner_ok = false;
+            const robust::SolveError wrapped = robust::with_corner(
+                e, slot.scenario.label(), shard.begin + index);
+            slot.solver_failed = true;
+            slot.failure = wrapped.what();
+            slot.failure_kind = robust::failure_kind_name(wrapped.info().kind);
+            slot.solve_attempts = std::max(1, wrapped.info().attempts);
+            c_isolated.add();
+          }
+        } else {
+          slot.report = fn(slot.scenario, ws);
+        }
+        if (corner_ok) {
+          // Memory and solver accounting ride the workspace (the corner
+          // function only returns a report): all of these are pure
+          // functions of the memo key, so memo hits report the same
+          // values as the corner that ran the transient and the summary
+          // stays scheduling-independent.
+          slot.streamed_record_bytes = ws.memo_streamed_bytes;
+          slot.monolithic_record_bytes = ws.memo_monolithic_bytes;
+          slot.solve = ws.memo_solve;
+          slot.transient_reused = ws.memo_hit;
+          slot.solve_attempts = std::max(1, ws.memo_attempts);
+          slot.recovered = ws.memo_recovered;
+        }
         slot.worker = worker;
         slot.wall_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-        if (progress)
-          progress(done.fetch_add(1, std::memory_order_relaxed) + 1, n);
+        if (journal) journal->append(corner_journal_json(shard.begin + index, slot));
+        const std::size_t k = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (opt.progress) opt.progress(k, n);
       },
-      chunk);
+      opt.chunk);
+
+  if (aborted.load(std::memory_order_relaxed))
+    throw SweepAborted("sweep aborted: " +
+                       std::to_string(done.load(std::memory_order_relaxed)) + " of " +
+                       std::to_string(n) + " corners finished" +
+                       (journal ? " (journaled for resume)" : ""));
 
   c_corners.add(n);
   out.workers = pool_.worker_stats();
   out.summary = shard.whole_grid(grid.size())
-                    ? summarize(grid, out.results, histogram_spec)
-                    : summarize_shard(grid, out.results, histogram_spec);
+                    ? summarize(grid, out.results, opt.histogram)
+                    : summarize_shard(grid, out.results, opt.histogram);
   return out;
+}
+
+namespace {
+
+obs::Json solve_stats_exact_json(const ckt::SolveStats& st) {
+  auto o = obs::Json::object();
+  o.set("newton", obs::Json::integer(st.total_newton_iters));
+  o.set("steps", obs::Json::integer(st.steps));
+  o.set("weak", obs::Json::integer(st.weak_steps));
+  o.set("restamps", obs::Json::integer(st.restamps));
+  o.set("dc_newton", obs::Json::integer(st.dc_newton_iters));
+  o.set("dc_gmin", obs::Json::integer(st.dc_gmin_stages));
+  o.set("dc_source", obs::Json::integer(st.dc_source_steps));
+  o.set("used_sparse", obs::Json::integer(st.used_sparse));
+  return o;
+}
+
+ckt::SolveStats solve_stats_from_json(const obs::Json& o) {
+  ckt::SolveStats st;
+  st.total_newton_iters = o.at("newton").as_integer();
+  st.steps = o.at("steps").as_integer();
+  st.weak_steps = o.at("weak").as_integer();
+  st.restamps = o.at("restamps").as_integer();
+  st.dc_newton_iters = o.at("dc_newton").as_integer();
+  st.dc_gmin_stages = o.at("dc_gmin").as_integer();
+  st.dc_source_steps = o.at("dc_source").as_integer();
+  st.used_sparse = static_cast<int>(o.at("used_sparse").as_integer());
+  return st;
+}
+
+}  // namespace
+
+obs::Json corner_journal_json(std::size_t grid_index, const CornerResult& r) {
+  auto o = obs::Json::object();
+  o.set("index", obs::Json::integer(static_cast<long>(grid_index)));
+  o.set("solver_failed", obs::Json::boolean(r.solver_failed));
+  if (!r.failure.empty()) o.set("failure", obs::Json::string(r.failure));
+  if (!r.failure_kind.empty())
+    o.set("failure_kind", obs::Json::string(r.failure_kind));
+  o.set("attempts", obs::Json::integer(r.solve_attempts));
+  o.set("recovered", obs::Json::boolean(r.recovered));
+  o.set("reused", obs::Json::boolean(r.transient_reused));
+  o.set("streamed_bytes",
+        obs::Json::integer(static_cast<long>(r.streamed_record_bytes)));
+  o.set("monolithic_bytes",
+        obs::Json::integer(static_cast<long>(r.monolithic_record_bytes)));
+  o.set("solve", solve_stats_exact_json(r.solve));
+
+  auto rep = obs::Json::object();
+  rep.set("mask", obs::Json::string(r.report.mask_name));
+  rep.set("what", obs::Json::string(r.report.what));
+  rep.set("pass", obs::Json::boolean(r.report.pass));
+  // Doubles as %.17g strings: the report must survive the round trip
+  // bit-for-bit for resumed runs to be byte-identical, and Json::number
+  // renders %.9g.
+  rep.set("worst_margin_db",
+          obs::Json::string(robust::exact_double(r.report.worst_margin_db)));
+  rep.set("worst_index", obs::Json::integer(static_cast<long>(r.report.worst_index)));
+  rep.set("skipped", obs::Json::integer(static_cast<long>(r.report.skipped_scan_points)));
+  auto pts = obs::Json::array();
+  for (const spec::MarginPoint& p : r.report.points) {
+    auto row = obs::Json::array();
+    row.push(obs::Json::string(robust::exact_double(p.f)));
+    row.push(obs::Json::string(robust::exact_double(p.level_dbuv)));
+    row.push(obs::Json::string(robust::exact_double(p.limit_dbuv)));
+    row.push(obs::Json::string(robust::exact_double(p.margin_db)));
+    pts.push(std::move(row));
+  }
+  rep.set("points", std::move(pts));
+  o.set("report", std::move(rep));
+  return o;
+}
+
+CornerResult corner_from_journal(const obs::Json& entry, std::size_t& grid_index) {
+  const long idx = entry.at("index").as_integer();
+  if (idx < 0) throw std::invalid_argument("corner_from_journal: negative index");
+  grid_index = static_cast<std::size_t>(idx);
+
+  CornerResult r;
+  r.solver_failed = entry.at("solver_failed").as_bool();
+  if (const obs::Json* f = entry.find("failure")) r.failure = f->as_string();
+  if (const obs::Json* k = entry.find("failure_kind")) r.failure_kind = k->as_string();
+  r.solve_attempts = static_cast<int>(entry.at("attempts").as_integer());
+  r.recovered = entry.at("recovered").as_bool();
+  r.transient_reused = entry.at("reused").as_bool();
+  r.streamed_record_bytes =
+      static_cast<std::size_t>(entry.at("streamed_bytes").as_integer());
+  r.monolithic_record_bytes =
+      static_cast<std::size_t>(entry.at("monolithic_bytes").as_integer());
+  r.solve = solve_stats_from_json(entry.at("solve"));
+
+  const obs::Json& rep = entry.at("report");
+  r.report.mask_name = rep.at("mask").as_string();
+  r.report.what = rep.at("what").as_string();
+  r.report.pass = rep.at("pass").as_bool();
+  r.report.worst_margin_db = robust::parse_exact(rep.at("worst_margin_db"));
+  r.report.worst_index = static_cast<std::size_t>(rep.at("worst_index").as_integer());
+  r.report.skipped_scan_points =
+      static_cast<std::size_t>(rep.at("skipped").as_integer());
+  const obs::Json& pts = rep.at("points");
+  r.report.points.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const obs::Json& row = pts[i];
+    if (row.size() != 4)
+      throw std::invalid_argument("corner_from_journal: malformed margin point");
+    spec::MarginPoint p;
+    p.f = robust::parse_exact(row[0]);
+    p.level_dbuv = robust::parse_exact(row[1]);
+    p.limit_dbuv = robust::parse_exact(row[2]);
+    p.margin_db = robust::parse_exact(row[3]);
+    r.report.points.push_back(p);
+  }
+  return r;
+}
+
+obs::Json corner_result_json(const CornerResult& r) {
+  auto o = obs::Json::object();
+  o.set("corner", obs::Json::integer(static_cast<long>(r.scenario.index)));
+  o.set("label", obs::Json::string(r.scenario.label()));
+  o.set("solver_failed", obs::Json::boolean(r.solver_failed));
+  o.set("attempts", obs::Json::integer(r.solve_attempts));
+  o.set("recovered", obs::Json::boolean(r.recovered));
+  if (r.solver_failed) {
+    o.set("failure_kind", obs::Json::string(r.failure_kind));
+    o.set("failure", obs::Json::string(r.failure));
+    return o;
+  }
+  o.set("pass", obs::Json::boolean(r.report.pass));
+  o.set("points", obs::Json::integer(static_cast<long>(r.report.points.size())));
+  if (!r.report.points.empty())
+    o.set("worst_margin_db", obs::Json::number(r.report.worst_margin_db));
+  o.set("skipped", obs::Json::integer(static_cast<long>(r.report.skipped_scan_points)));
+  o.set("streamed_bytes",
+        obs::Json::integer(static_cast<long>(r.streamed_record_bytes)));
+  return o;
 }
 
 CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
@@ -241,33 +498,50 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
     ws.memo_hit = ws.memo_key == memo_key;
     (ws.memo_hit ? c_hits : c_misses).add();
     if (!ws.memo_hit) {
-      // Per-corner circuit: everything mutable lives here; the macromodel
-      // is shared const across workers.
-      auto tr = build_emission_transient(cfg, sc);
+      const double period = cfg.bit_time * static_cast<double>(sc.bits.size());
+      // The transient runs under the retry/escalation ladder: a failing
+      // solve is retried with cumulatively stronger numerics, and the
+      // ladder schedule is a pure function of the corner, so retried
+      // sweeps stay deterministic for any worker count. The body rebuilds
+      // everything per attempt — a failed attempt leaves nothing behind.
+      const robust::RetryOutcome ro = robust::run_with_escalation(
+          emission_retry_policy(cfg), emission_base_options(cfg, sc),
+          [&](const ckt::TransientOptions& opt) {
+            // Per-corner circuit: everything mutable lives here; the
+            // macromodel is shared const across workers.
+            auto tr = build_emission_transient(cfg, sc);
+            tr->opt = opt;
+            // The ladder may have halved dt; the steady-state window is a
+            // frame count, so recompute it against the attempt's step.
+            tr->per_period = static_cast<std::size_t>(std::lround(period / opt.dt));
 
-      // Streamed transient: probe only the measured land and record only
-      // the steady-state window (drop the first pattern period as startup
-      // transient, keep whole periods so harmonics stay coherently
-      // sampled). The engine never materializes the full all-unknowns
-      // record; the chunk staging buffer lives in ws.newton and is reused
-      // across every corner this worker runs.
-      const int probes[] = {tr->b1};
-      sig::RecordingSink rec(tr->per_period,
-                             tr->per_period * static_cast<std::size_t>(cfg.periods - 1));
-      ws.memo_solve = ckt::run_transient_streamed(tr->c, tr->opt, ws.newton, probes, rec,
-                                                  tr->chunk_frames);
-      // Single-channel recording: the flat buffer IS the steady record —
-      // move it out instead of copying through waveform().
-      ws.memo_record = sig::Waveform(
-          tr->opt.t_start + tr->opt.dt * static_cast<double>(tr->per_period), tr->opt.dt,
-          std::move(rec).take_data());
+            // Streamed transient: probe only the measured land and record
+            // only the steady-state window (drop the first pattern period
+            // as startup transient, keep whole periods so harmonics stay
+            // coherently sampled). The engine never materializes the full
+            // all-unknowns record; the chunk staging buffer lives in
+            // ws.newton and is reused across every corner this worker runs.
+            const int probes[] = {tr->b1};
+            sig::RecordingSink rec(
+                tr->per_period,
+                tr->per_period * static_cast<std::size_t>(cfg.periods - 1));
+            ws.memo_solve = ckt::run_transient_streamed(tr->c, tr->opt, ws.newton,
+                                                        probes, rec, tr->chunk_frames);
+            // Single-channel recording: the flat buffer IS the steady
+            // record — move it out instead of copying through waveform().
+            ws.memo_record = sig::Waveform(
+                tr->opt.t_start + tr->opt.dt * static_cast<double>(tr->per_period),
+                tr->opt.dt, std::move(rec).take_data());
 
-      const auto n_unknowns = static_cast<std::size_t>(tr->c.finalize());
-      const auto n_frames =
-          static_cast<std::size_t>(std::llround(tr->opt.t_stop / tr->opt.dt)) + 1;
-      ws.memo_streamed_bytes =
-          (tr->chunk_frames + ws.memo_record.size()) * sizeof(double);
-      ws.memo_monolithic_bytes = n_frames * n_unknowns * sizeof(double);
+            const auto n_unknowns = static_cast<std::size_t>(tr->c.finalize());
+            const auto n_frames =
+                static_cast<std::size_t>(std::llround(tr->opt.t_stop / tr->opt.dt)) + 1;
+            ws.memo_streamed_bytes =
+                (tr->chunk_frames + ws.memo_record.size()) * sizeof(double);
+            ws.memo_monolithic_bytes = n_frames * n_unknowns * sizeof(double);
+          });
+      ws.memo_attempts = ro.attempts;
+      ws.memo_recovered = ro.recovered;
       ws.memo_key = std::move(memo_key);
     }
 
@@ -344,9 +618,12 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
       sinks.push_back(&recs[l]);
     }
 
+    std::vector<std::string> keys(L);
+    for (std::size_t l = 0; l < L; ++l) keys[l] = groups[g0 + l].key;
+
     const int probes[] = {built[0]->b1};
     const auto stats = ckt::run_transient_lanes(lanes, built[0]->opt, lw, probes, sinks,
-                                                built[0]->chunk_frames);
+                                                built[0]->chunk_frames, keys);
     acc.batches += 1;
     acc.transients += L;
     acc.batched_walk_entries += stats.batched_walk_entries;
@@ -357,26 +634,88 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
 
     for (std::size_t l = 0; l < L; ++l) {
       const CornerTransient& tr = *built[l];
-      const sig::Waveform steady(
-          tr.opt.t_start + tr.opt.dt * static_cast<double>(tr.per_period), tr.opt.dt,
-          std::move(recs[l]).take_data());
+      const Scenario lane_sc = grid.at(groups[g0 + l].first);
       const auto n_unknowns = static_cast<std::size_t>(built[l]->c.finalize());
-      const auto n_frames =
-          static_cast<std::size_t>(std::llround(tr.opt.t_stop / tr.opt.dt)) + 1;
-      const std::size_t streamed_bytes = (tr.chunk_frames + steady.size()) * sizeof(double);
-      const std::size_t monolithic_bytes = n_frames * n_unknowns * sizeof(double);
+
+      sig::Waveform steady;
+      ckt::SolveStats lane_solve = stats.lanes[l];
+      std::size_t streamed_bytes = 0;
+      std::size_t monolithic_bytes = 0;
+      int lane_attempts = 1;
+      bool lane_recovered = false;
+      std::unique_ptr<robust::SolveError> lane_error;
+
+      if (!stats.failures[l].failed) {
+        steady = sig::Waveform(
+            tr.opt.t_start + tr.opt.dt * static_cast<double>(tr.per_period), tr.opt.dt,
+            std::move(recs[l]).take_data());
+        const auto n_frames =
+            static_cast<std::size_t>(std::llround(tr.opt.t_stop / tr.opt.dt)) + 1;
+        streamed_bytes = (tr.chunk_frames + steady.size()) * sizeof(double);
+        monolithic_bytes = n_frames * n_unknowns * sizeof(double);
+      } else {
+        // Lane demotion: the batched transient isolated this lane (its
+        // frozen record is unusable) while the survivors continued. Evict
+        // it to a scalar retry under the escalation ladder — the scalar
+        // base attempt reruns the identical arithmetic, so a lane that
+        // would also fail scalar walks the same ladder the scalar runner
+        // would have walked.
+        ++acc.demoted;
+        const double period = cfg.bit_time * static_cast<double>(lane_sc.bits.size());
+        try {
+          const robust::RetryOutcome ro = robust::run_with_escalation(
+              emission_retry_policy(cfg), emission_base_options(cfg, lane_sc),
+              [&](const ckt::TransientOptions& opt) {
+                auto rtr = build_emission_transient(cfg, lane_sc);
+                rtr->opt = opt;
+                rtr->per_period =
+                    static_cast<std::size_t>(std::lround(period / opt.dt));
+                const int rprobes[] = {rtr->b1};
+                sig::RecordingSink rec(
+                    rtr->per_period,
+                    rtr->per_period * static_cast<std::size_t>(cfg.periods - 1));
+                lane_solve = ckt::run_transient_streamed(rtr->c, rtr->opt, lw.scalar,
+                                                         rprobes, rec, rtr->chunk_frames);
+                steady = sig::Waveform(
+                    rtr->opt.t_start +
+                        rtr->opt.dt * static_cast<double>(rtr->per_period),
+                    rtr->opt.dt, std::move(rec).take_data());
+                const auto n_frames = static_cast<std::size_t>(
+                                          std::llround(rtr->opt.t_stop / rtr->opt.dt)) +
+                                      1;
+                streamed_bytes = (rtr->chunk_frames + steady.size()) * sizeof(double);
+                monolithic_bytes = n_frames * n_unknowns * sizeof(double);
+              });
+          lane_attempts = ro.attempts;
+          lane_recovered = ro.recovered;
+        } catch (const robust::SolveError& e) {
+          lane_error = std::make_unique<robust::SolveError>(e);
+        }
+      }
 
       for (std::size_t idx : groups[g0 + l].corners) {
         obs::Span corner_span("corner");
         CornerResult& slot = out.results[idx];
         slot.scenario = grid.at(idx);
+        if (lane_error) {
+          const robust::SolveError wrapped =
+              robust::with_corner(*lane_error, slot.scenario.label(), idx);
+          slot.solver_failed = true;
+          slot.failure = wrapped.what();
+          slot.failure_kind = robust::failure_kind_name(wrapped.info().kind);
+          slot.solve_attempts = std::max(1, wrapped.info().attempts);
+          slot.transient_reused = idx != groups[g0 + l].first;
+          continue;
+        }
         slot.report = post_process_corner(cfg, slot.scenario, steady, scanner);
         slot.streamed_record_bytes = streamed_bytes;
         slot.monolithic_record_bytes = monolithic_bytes;
         // Lane semantics match the scalar runner: every corner of a group
         // carries the producing lane's solver stats, and only the group's
         // defining corner "ran" its transient.
-        slot.solve = stats.lanes[l];
+        slot.solve = lane_solve;
+        slot.solve_attempts = lane_attempts;
+        slot.recovered = lane_recovered;
         slot.transient_reused = idx != groups[g0 + l].first;
       }
     }
@@ -413,6 +752,8 @@ obs::Json summary_json(const CornerGrid& grid, const SweepSummary& s) {
   o.set("failed", obs::Json::integer(static_cast<long>(s.failed)));
   o.set("uncovered", obs::Json::integer(static_cast<long>(s.uncovered)));
   o.set("truncated", obs::Json::integer(static_cast<long>(s.truncated)));
+  o.set("solver_failed", obs::Json::integer(static_cast<long>(s.solver_failed)));
+  o.set("recovered", obs::Json::integer(static_cast<long>(s.recovered)));
   o.set("worst_margin_db", margin_json(s.worst_margin_db));
   if (s.passed + s.failed > 0) {
     o.set("worst_corner", obs::Json::integer(static_cast<long>(s.worst_corner)));
@@ -430,6 +771,11 @@ obs::Json summary_json(const CornerGrid& grid, const SweepSummary& s) {
       auto v = obs::Json::object();
       v.set("value", obs::Json::string(grid.axis_value_label(axis, k)));
       v.set("worst_margin_db", margin_json(s.axis_worst[a][k]));
+      const std::size_t failed_here =
+          a < s.axis_solver_failed.size() && k < s.axis_solver_failed[a].size()
+              ? s.axis_solver_failed[a][k]
+              : 0;
+      v.set("solver_failed", obs::Json::integer(static_cast<long>(failed_here)));
       vals.push(std::move(v));
     }
     row.set("worst_by_value", std::move(vals));
@@ -463,6 +809,7 @@ obs::Json worker_stats_json(std::span<const WorkerStats> workers) {
     row.set("idle_s", obs::Json::number(static_cast<double>(ws.idle_ns) * 1e-9));
     row.set("items", obs::Json::integer(static_cast<long>(ws.items)));
     row.set("epochs", obs::Json::integer(static_cast<long>(ws.epochs)));
+    row.set("suppressed", obs::Json::integer(static_cast<long>(ws.suppressed)));
     const std::uint64_t total = ws.busy_ns + ws.idle_ns;
     row.set("busy_fraction",
             obs::Json::number(total > 0 ? static_cast<double>(ws.busy_ns) /

@@ -10,10 +10,12 @@
 // SweepSummary is bit-identical for any worker count or scheduling order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "emc/limits.hpp"
 #include "emc/receiver.hpp"
 #include "obs/json.hpp"
+#include "robust/retry.hpp"
 #include "sweep/corner_grid.hpp"
 #include "sweep/thread_pool.hpp"
 
@@ -60,6 +63,17 @@ struct Workspace {
   /// memoized stage may leave both untouched.
   ckt::SolveStats memo_solve;
   bool memo_hit = false;
+
+  /// Escalation-ladder accounting of the transient behind memo_record
+  /// (pure per memo key like memo_solve, because the ladder schedule and
+  /// the fault harness are deterministic per transient key): attempts
+  /// actually run (1 = first try succeeded) and whether the solve
+  /// recovered after at least one failed attempt. Never reset per corner:
+  /// a memo hit inherits the producing attempt's accounting, so every
+  /// corner sharing a recovered transient reads as recovered. SweepRunner
+  /// copies both into the CornerResult after the corner function returns.
+  int memo_attempts = 1;
+  bool memo_recovered = false;
 };
 
 /// Verdict of one corner. `wall_s` and `worker` are diagnostic only —
@@ -82,6 +96,25 @@ struct CornerResult {
   ckt::SolveStats solve;
   bool transient_reused = false;
   std::size_t worker = 0;  ///< pool worker that evaluated this corner
+
+  /// Solver-failure record. When the corner's solve failed past the retry
+  /// ladder and the sweep isolated it, solver_failed is set, `failure`
+  /// carries the formatted robust::SolveError (corner identity attached)
+  /// and `report` is empty. Both strings are empty on success.
+  bool solver_failed = false;
+  std::string failure;
+  std::string failure_kind;  ///< robust::failure_kind_name() of the failure
+
+  /// Escalation-ladder attempts behind this corner's transient (1 = first
+  /// try) and whether it recovered after a failed attempt. Deterministic
+  /// per scenario, like the solve stats.
+  int solve_attempts = 1;
+  bool recovered = false;
+
+  /// Slot restored from a checkpoint journal instead of being evaluated
+  /// (wall_s/worker are zero for such corners — they ran in a prior
+  /// process). Scheduling-dependent, never journaled or summarized.
+  bool from_checkpoint = false;
 };
 
 /// Fixed-bin histogram of per-corner worst margins; corners outside the
@@ -107,6 +140,14 @@ struct SweepSummary {
   /// measuring above the record's Nyquist rate.
   std::size_t truncated = 0;
 
+  /// Corners whose solve failed past the retry ladder (isolated; no
+  /// report). Deliberately distinct from `uncovered`: a solver casualty
+  /// is an execution failure, not a mask-coverage property, and mixing
+  /// the two would let a crashing sweep masquerade as a narrow mask.
+  std::size_t solver_failed = 0;
+  /// Corners whose solve succeeded only after ladder escalation.
+  std::size_t recovered = 0;
+
   /// Min over covered corners; +infinity when every corner was uncovered
   /// (so "nothing scored" can never read as a genuine 0.0 dB margin).
   double worst_margin_db = 0.0;
@@ -117,6 +158,11 @@ struct SweepSummary {
   /// coordinate is `k` (+inf when no covered corner hits that value) —
   /// the "which axis value drives the failures" table.
   std::vector<std::vector<double>> axis_worst;
+
+  /// axis_solver_failed[a][k]: solver-failed corners per axis value — the
+  /// "which axis value breaks the solver" attribution table, same shape
+  /// as axis_worst.
+  std::vector<std::vector<std::size_t>> axis_solver_failed;
 
   /// Max over corners of the per-corner record footprints: what the
   /// streamed transient path held at peak vs. what a monolithic
@@ -171,14 +217,56 @@ SweepSummary summarize(const CornerGrid& grid, std::span<const CornerResult> res
 SweepSummary summarize_shard(const CornerGrid& grid, std::span<const CornerResult> results,
                              const MarginHistogram& histogram_spec = {});
 
+/// Progress observer: invoked after every finished corner with
+/// (corners_done, corners_total). Runs on whichever worker finished the
+/// corner, concurrently with other workers — it must be thread-safe and
+/// cheap, and it observes completion order, not grid order.
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Thrown by SweepRunner::run when RunOptions::stop was raised: workers
+/// stopped claiming corners, the pool drained, and (when journaling)
+/// every corner that finished is on disk for a resume.
+class SweepAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Full control surface of SweepRunner::run; the positional legacy
+/// overload forwards here.
+struct RunOptions {
+  MarginHistogram histogram{};
+  std::size_t chunk = 1;  ///< corners claimed per scheduling step
+  ProgressFn progress{};
+  ShardRange shard{};
+
+  /// Capture a corner's robust::SolveError into its CornerResult
+  /// (solver_failed + failure text) instead of failing the sweep — the
+  /// remaining corners still run and the summary counts the casualty
+  /// under solver_failed. Off restores the pre-isolation behavior (first
+  /// failure rethrown after the loop drains). Exceptions that are not
+  /// SolveError always propagate: they signal bugs, not solver trouble.
+  bool isolate_failures = true;
+
+  /// Append every finished corner (successes and isolated failures) to
+  /// this JSON-lines checkpoint journal, and before running restore the
+  /// corners already present — matching grid indices inside the shard are
+  /// skipped and flagged from_checkpoint. Doubles round-trip exactly
+  /// (%.17g), so a killed shard resumed over the same journal produces a
+  /// summary and per-corner reports byte-identical to an uninterrupted
+  /// run. Empty disables checkpointing.
+  std::string journal_path;
+
+  /// Cooperative abort: when *stop becomes true, workers stop claiming
+  /// corners and run() throws SweepAborted after the pool drains (the
+  /// journal then holds every finished corner). Null = never aborted.
+  const std::atomic<bool>* stop = nullptr;
+};
+
 /// Owns the thread pool and one Workspace per worker.
 class SweepRunner {
  public:
-  /// Progress observer: invoked after every finished corner with
-  /// (corners_done, corners_total). Runs on whichever worker finished the
-  /// corner, concurrently with other workers — it must be thread-safe and
-  /// cheap, and it observes completion order, not grid order.
-  using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+  /// See sweep::ProgressFn (kept as a member alias for existing callers).
+  using ProgressFn = emc::sweep::ProgressFn;
 
   /// `jobs` worker threads (including the caller); clamped to >= 1.
   explicit SweepRunner(std::size_t jobs);
@@ -197,10 +285,31 @@ class SweepRunner {
                    const MarginHistogram& histogram_spec = {}, std::size_t chunk = 1,
                    const ProgressFn& progress = {}, ShardRange shard = {});
 
+  /// Same run with the full option set: failure isolation, checkpoint
+  /// journal + resume, cooperative abort. See RunOptions.
+  SweepOutcome run(const CornerGrid& grid, const CornerFn& fn, const RunOptions& opt);
+
  private:
   ThreadPool pool_;
   std::vector<Workspace> workspaces_;
 };
+
+/// One finished corner as a checkpoint-journal entry: grid index plus
+/// every schedule-independent CornerResult field, doubles spelled with
+/// robust::exact_double so decoding reproduces them bit-for-bit.
+obs::Json corner_journal_json(std::size_t grid_index, const CornerResult& r);
+
+/// Inverse of corner_journal_json. The scenario is NOT restored (callers
+/// re-derive it from the grid — it is a pure function of the index, which
+/// is returned through `grid_index`). Throws on malformed entries.
+CornerResult corner_from_journal(const obs::Json& entry, std::size_t& grid_index);
+
+/// Deterministic per-corner record for reports and benches: corner
+/// identity, solver-failure record, ladder accounting and the compliance
+/// verdict — none of the scheduling-dependent fields (wall_s, worker,
+/// transient_reused, from_checkpoint), so two equal sweeps emit equal
+/// arrays for any worker count, chunking or resume history.
+obs::Json corner_result_json(const CornerResult& r);
 
 /// JSON spelling of one margin: finite values are numbers, the +infinity
 /// "nothing scored" sentinel becomes the string "uncovered".
@@ -243,6 +352,15 @@ struct EmissionSweepConfig {
   /// sparse backend; to compare a scalar sweep bit-for-bit against
   /// run_emission_sweep_lanes, set kSparse on both sides.
   ckt::SolverKind solver = ckt::SolverKind::kAuto;
+
+  /// Retry/escalation ladder for failing corner transients (see
+  /// robust::RetryPolicy). The default retries; retry.enabled = false is
+  /// the pre-robustness single-attempt path, byte-identical when nothing
+  /// fails. The ladder schedule is a pure function of the corner, so
+  /// retried sweeps stay deterministic for any worker count. refine_dt is
+  /// forced off internally: the engine step is pinned to the macromodel's
+  /// sampling time Ts, so the "dt/2" stage runs as a plain re-attempt.
+  robust::RetryPolicy retry;
 };
 
 /// Build the corner function running the full pipeline:
@@ -264,6 +382,13 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg);
 /// first of them. Returns axis_size(rbw) * axis_size(vdd) * axis_size(det).
 std::size_t emission_chunk_hint(const CornerGrid& grid);
 
+/// Identity of the transient behind a corner: the memo key the emission
+/// pipeline uses (pattern bits + line length + load, %.17g exact) and the
+/// TransientOptions::context it runs under. Key robust::FaultSpec entries
+/// to this string to target one transient group deterministically —
+/// corners differing only in post-processing axes share it.
+std::string emission_transient_key(const Scenario& sc);
+
 /// Telemetry of a lane-batched emission sweep: how many transients
 /// actually ran, how they were batched, and the solver pattern-walk
 /// entries the batched kernels performed vs. what the identical solves
@@ -274,6 +399,10 @@ struct LaneSweepInfo {
   std::size_t batches = 0;     ///< lane batches dispatched
   unsigned long long batched_walk_entries = 0;
   unsigned long long scalar_walk_entries = 0;
+
+  /// Lanes whose batched transient diverged and were evicted to a scalar
+  /// retry under the escalation ladder (survivor lanes kept running).
+  std::size_t demoted = 0;
 };
 
 /// Lane-batched counterpart of SweepRunner + make_emission_corner_fn for
@@ -288,6 +417,13 @@ struct LaneSweepInfo {
 /// with cfg.solver = kSparse. cfg.solver must not be kDense
 /// (std::invalid_argument). `wall_s` per corner is the batch wall time
 /// split evenly — diagnostic only, as in the scalar runner.
+///
+/// Failure isolation: a lane whose batched transient diverges is frozen
+/// by the lane engine while the survivors continue bit-identically, then
+/// demoted here to a scalar retry under cfg.retry's escalation ladder
+/// (LaneSweepInfo::demoted counts evictions). A lane that still fails
+/// past the ladder is recorded per corner (CornerResult::solver_failed),
+/// never thrown — matching SweepRunner's isolating run.
 SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
                                       const CornerGrid& grid,
                                       std::size_t max_lanes = 4,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 
 namespace emc::sweep {
 
@@ -20,6 +22,7 @@ ThreadPool::ThreadPool(std::size_t workers)
     : n_workers_(std::max<std::size_t>(1, workers)) {
   epoch_busy_ns_.assign(n_workers_, 0);
   epoch_items_.assign(n_workers_, 0);
+  epoch_suppressed_.assign(n_workers_, 0);
   stats_.assign(n_workers_, WorkerStats{});
   threads_.reserve(n_workers_ - 1);
   for (std::size_t w = 1; w < n_workers_; ++w)
@@ -52,6 +55,7 @@ void ThreadPool::reset_worker_stats() {
 void ThreadPool::drain(std::size_t worker) {
   std::uint64_t busy = 0;
   std::uint64_t items = 0;
+  std::uint64_t suppressed = 0;
   for (;;) {
     const std::size_t c = cursor_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t lo = c * job_chunk_;
@@ -63,7 +67,10 @@ void ThreadPool::drain(std::size_t worker) {
         (*job_)(i, worker);
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mu_);
-        if (!error_) error_ = std::current_exception();
+        if (!error_)
+          error_ = std::current_exception();
+        else
+          ++suppressed;
       }
     }
     busy += now_ns() - t0;
@@ -73,6 +80,7 @@ void ThreadPool::drain(std::size_t worker) {
   // barrier (the mutex hand-off orders these against that read).
   epoch_busy_ns_[worker] = busy;
   epoch_items_[worker] = items;
+  epoch_suppressed_[worker] = suppressed;
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
@@ -102,6 +110,7 @@ void ThreadPool::parallel_for(
     cursor_.store(0, std::memory_order_relaxed);
     std::fill(epoch_busy_ns_.begin(), epoch_busy_ns_.end(), 0);
     std::fill(epoch_items_.begin(), epoch_items_.end(), 0);
+    std::fill(epoch_suppressed_.begin(), epoch_suppressed_.end(), 0);
     active_ = n_workers_ - 1;
     ++epoch_;
   }
@@ -117,21 +126,39 @@ void ThreadPool::parallel_for(
   // wall time a worker did not spend busy, it spent idle (waking up,
   // waiting on the cursor, or done early behind a slow tail).
   const std::uint64_t epoch_ns = now_ns() - t_epoch;
+  std::uint64_t suppressed = 0;
   for (std::size_t w = 0; w < n_workers_; ++w) {
     const std::uint64_t busy = std::min(epoch_busy_ns_[w], epoch_ns);
     stats_[w].busy_ns += busy;
     stats_[w].idle_ns += epoch_ns - busy;
     stats_[w].items += epoch_items_[w];
+    stats_[w].suppressed += epoch_suppressed_[w];
+    suppressed += epoch_suppressed_[w];
     ++stats_[w].epochs;
   }
   lk.unlock();
 
-  std::lock_guard<std::mutex> elk(err_mu_);
-  if (error_) {
-    std::exception_ptr e = error_;
+  std::exception_ptr first;
+  {
+    std::lock_guard<std::mutex> elk(err_mu_);
+    first = error_;
     error_ = nullptr;
-    std::rethrow_exception(e);
   }
+  if (!first) return;
+  if (suppressed == 0) std::rethrow_exception(first);
+  // More than one worker threw this epoch: only the first exception
+  // survives, but its message must say so — a caller reading a single
+  // error otherwise believes everything else completed.
+  std::string msg;
+  try {
+    std::rethrow_exception(first);
+  } catch (const std::exception& e) {
+    msg = e.what();
+  } catch (...) {
+    msg = "non-standard worker exception";
+  }
+  throw std::runtime_error(msg + " (+" + std::to_string(suppressed) +
+                           " more worker exception(s) suppressed)");
 }
 
 }  // namespace emc::sweep

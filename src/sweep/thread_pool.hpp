@@ -33,6 +33,11 @@ struct WorkerStats {
   std::uint64_t idle_ns = 0;
   std::uint64_t items = 0;   ///< loop indices this worker executed
   std::uint64_t epochs = 0;  ///< parallel_for calls observed
+
+  /// Worker exceptions swallowed by this worker's drain because another
+  /// exception was already captured for the epoch (only the first is
+  /// rethrown). Nonzero means failures beyond the one reported.
+  std::uint64_t suppressed = 0;
 };
 
 /// Fixed-size pool of persistent workers. The calling thread participates
@@ -58,8 +63,12 @@ class ThreadPool {
   /// e.g. sweep corners differing only in post-processing axes). If any
   /// invocation throws, the loop still drains (every index is claimed and
   /// run — no deadlock, the pool stays usable) and the first captured
-  /// exception is rethrown on the caller. Not reentrant: fn must not call
-  /// parallel_for on the same pool.
+  /// exception is rethrown on the caller with its type preserved. Further
+  /// exceptions in the same epoch are counted, not lost: each shows up in
+  /// its worker's WorkerStats::suppressed, and when any were suppressed
+  /// the rethrow is converted to a std::runtime_error carrying the first
+  /// exception's message plus the suppressed count. Not reentrant: fn
+  /// must not call parallel_for on the same pool.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t chunk = 1);
@@ -97,6 +106,7 @@ class ThreadPool {
   // the caller after the epoch barrier) and the accumulated totals.
   std::vector<std::uint64_t> epoch_busy_ns_;
   std::vector<std::uint64_t> epoch_items_;
+  std::vector<std::uint64_t> epoch_suppressed_;
   std::vector<WorkerStats> stats_;
 
   std::mutex err_mu_;

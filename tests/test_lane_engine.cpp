@@ -5,7 +5,9 @@
 // rates. Plus the input validation contract.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "circuit/devices_linear.hpp"
@@ -13,6 +15,7 @@
 #include "circuit/engine.hpp"
 #include "circuit/lane_engine.hpp"
 #include "circuit/netlist.hpp"
+#include "robust/fault.hpp"
 
 namespace ckt = emc::ckt;
 namespace sig = emc::sig;
@@ -145,6 +148,62 @@ TEST(LaneEngine, NonlinearLanesWithDifferingConvergenceBitIdentical) {
   // different rates (per-lane masks were exercised).
   EXPECT_TRUE(iter_counts_differ);
   EXPECT_GT(stats.scalar_walk_entries, stats.batched_walk_entries);
+}
+
+TEST(LaneEngine, DivergedLaneIsFrozenWhileSurvivorsStayBitIdentical) {
+  namespace robust = emc::robust;
+  const double r[] = {100.0, 220.0, 470.0, 1000.0};
+  const std::size_t L = 4;
+
+  std::vector<ckt::Circuit> lane_c(L);
+  std::vector<ckt::Circuit*> lanes;
+  std::vector<sig::RecordingSink> recs(L);
+  std::vector<sig::SampleSink*> sinks;
+  std::vector<std::string> keys;
+  int out = 0;
+  for (std::size_t l = 0; l < L; ++l) {
+    out = build_clamp(lane_c[l], r[l]);
+    lanes.push_back(&lane_c[l]);
+    sinks.push_back(&recs[l]);
+    keys.push_back("lane-" + std::to_string(l));
+  }
+
+  // Poison lane 2's batched stepping mid-run via the fault harness.
+  robust::FaultPlan plan;
+  robust::FaultSpec spec;
+  spec.site = robust::FaultSite::kLaneStep;
+  spec.key = "lane-2";
+  spec.skip = 100;  // fail well into the record, not at the first step
+  plan.arm(spec);
+  robust::ScopedFaultPlan guard(plan);
+
+  const auto opt = sparse_options();
+  const int probes[] = {out};
+  ckt::LaneWorkspace lw;
+  const auto stats = ckt::run_transient_lanes(lanes, opt, lw, probes, sinks, 64, keys);
+  EXPECT_GT(plan.fired(), 0);
+
+  ASSERT_EQ(stats.failures.size(), L);
+  EXPECT_EQ(stats.failed_lanes, 1u);
+  EXPECT_TRUE(stats.failures[2].failed);
+  EXPECT_FALSE(stats.failures[2].message.empty());
+  EXPECT_GT(stats.failures[2].t, 0.0);
+
+  for (std::size_t l = 0; l < L; ++l) {
+    if (l == 2) continue;
+    ckt::Circuit ref;
+    build_clamp(ref, r[l]);
+    ckt::SolveStats ref_stats;
+    const auto expect = scalar_record(ref, opt, probes, &ref_stats);
+    EXPECT_EQ(recs[l].data(), expect) << "survivor lane " << l;
+    EXPECT_FALSE(stats.failures[l].failed) << "survivor lane " << l;
+    EXPECT_EQ(stats.lanes[l].total_newton_iters, ref_stats.total_newton_iters)
+        << "survivor lane " << l;
+  }
+  // The failed lane's sink received the same gap-free full-length stream
+  // as the survivors (frozen frames repeat the last committed state —
+  // downstream chunk accounting must not break).
+  EXPECT_EQ(recs[2].frames(), recs[0].frames());
 }
 
 TEST(LaneEngine, WorkspaceReusableAcrossBatches) {

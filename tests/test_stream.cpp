@@ -181,6 +181,52 @@ TEST(StreamedTransient, SinkExceptionPropagates) {
   EXPECT_FALSE(sink.finished);  // aborted streams never report completion
 }
 
+TEST(StreamedTransient, WorkspaceSurvivesSinkFailureMidChunk) {
+  class MidChunkThrowingSink final : public sig::SampleSink {
+   public:
+    void consume(const sig::SampleChunk& chunk) override {
+      if (chunk.first_frame >= 48) throw std::runtime_error("disk full");
+    }
+  };
+
+  // First, the clean reference from a pristine workspace.
+  const auto opt = clamp_options();
+  std::vector<double> ref;
+  {
+    ckt::Circuit c;
+    const int out = build_clamp(c);
+    sig::RecordingSink rec;
+    ckt::NewtonWorkspace fresh;
+    const int probes[] = {out};
+    ckt::run_transient_streamed(c, opt, fresh, probes, rec, 16);
+    ref = std::move(rec).take_data();
+  }
+
+  // Now fail a run mid-stream, then reuse the SAME workspace: an aborted
+  // delivery must not leave scratch state (LU cache, residual history,
+  // staged chunk) that perturbs the next solve through that workspace.
+  ckt::NewtonWorkspace ws;
+  {
+    ckt::Circuit c;
+    const int out = build_clamp(c);
+    MidChunkThrowingSink sink;
+    const int probes[] = {out};
+    EXPECT_THROW(ckt::run_transient_streamed(c, opt, ws, probes, sink, 16),
+                 std::runtime_error);
+  }
+  {
+    ckt::Circuit c;
+    const int out = build_clamp(c);
+    sig::RecordingSink rec;
+    const int probes[] = {out};
+    ckt::run_transient_streamed(c, opt, ws, probes, rec, 16);
+    const auto got = std::move(rec).take_data();
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t k = 0; k < got.size(); ++k)
+      EXPECT_EQ(got[k], ref[k]) << "sample " << k;
+  }
+}
+
 // -------------------------------------------------------- signal sinks
 
 TEST(RecordingSink, WindowMatchesSliceOfFullRecord) {

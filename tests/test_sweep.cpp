@@ -9,15 +9,21 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "circuit/devices_linear.hpp"
 #include "circuit/engine.hpp"
 #include "circuit/netlist.hpp"
+#include "obs/json.hpp"
+#include "robust/error.hpp"
+#include "robust/journal.hpp"
 #include "sweep/corner_grid.hpp"
 #include "sweep/sweep_runner.hpp"
 #include "sweep/thread_pool.hpp"
@@ -239,6 +245,42 @@ TEST(ThreadPool, ExceptionPropagatesWithoutDeadlock) {
   // The loop drained: every index was still claimed and the pool is
   // reusable afterwards.
   EXPECT_EQ(ran.load(), 64);
+  std::atomic<int> again{0};
+  pool.parallel_for(32, [&](std::size_t, std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentThrowsAreCountedNotLost) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  constexpr std::size_t kThrowers = 9;
+  std::atomic<int> ran{0};
+  bool threw = false;
+  try {
+    pool.parallel_for(kN, [&](std::size_t i, std::size_t) {
+      ++ran;
+      if (i < kThrowers) throw std::runtime_error("boom " + std::to_string(i));
+    });
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    // Only the first exception survives; the message must admit the rest
+    // were suppressed so a caller never mistakes one error for the total.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("boom"), std::string::npos);
+    EXPECT_NE(msg.find(std::to_string(kThrowers - 1) +
+                       " more worker exception(s) suppressed"),
+              std::string::npos)
+        << msg;
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(ran.load(), static_cast<int>(kN));  // drain still completes
+
+  // The suppressed count is attributed to worker telemetry too.
+  std::uint64_t suppressed = 0;
+  for (const auto& ws : pool.worker_stats()) suppressed += ws.suppressed;
+  EXPECT_EQ(suppressed, kThrowers - 1);
+
+  // And the pool is reusable, with no stale error carried over.
   std::atomic<int> again{0};
   pool.parallel_for(32, [&](std::size_t, std::size_t) { ++again; });
   EXPECT_EQ(again.load(), 32);
@@ -502,6 +544,8 @@ TEST(SweepRunner, CornerExceptionDoesNotDeadlockAndPoolSurvives) {
   const CornerGrid grid(axes);
 
   SweepRunner runner(3);
+  // A non-SolveError signals a bug, not solver trouble: it must propagate
+  // even under the default failure-isolation policy.
   const CornerFn faulty = [](const Scenario& sc, Workspace& ws) {
     if (sc.index == 5) throw std::runtime_error("diverged corner");
     return rc_corner(sc, ws);
@@ -512,6 +556,255 @@ TEST(SweepRunner, CornerExceptionDoesNotDeadlockAndPoolSurvives) {
   const auto out = runner.run(grid, rc_corner);
   EXPECT_EQ(out.summary.corners, grid.size());
   EXPECT_EQ(out.summary.uncovered, 0u);
+}
+
+/// Corner function that fails with a structured SolveError on selected
+/// grid indices and otherwise runs the cheap RC pipeline.
+CornerFn solve_faulty_corner(std::set<std::size_t> bad) {
+  return [bad = std::move(bad)](const Scenario& sc, Workspace& ws) {
+    if (bad.count(sc.index)) {
+      robust::SolveErrorInfo info;
+      info.kind = robust::FailureKind::kTransientDivergence;
+      info.site = "run_transient";
+      info.context = sc.label();
+      info.detail = "synthetic divergence";
+      throw robust::SolveError(std::move(info));
+    }
+    return rc_corner(sc, ws);
+  };
+}
+
+TEST(SweepRunner, SolveErrorIsIsolatedByDefaultAndSweepCompletes) {
+  CornerAxes axes;
+  axes.vdd_scale = {0.9, 1.1};
+  axes.pattern_seed = {1, 2, 3};
+  const CornerGrid grid(axes);
+  ASSERT_EQ(grid.size(), 6u);
+
+  SweepRunner runner(3);
+  const auto fn = solve_faulty_corner({1, 4});
+  const auto out = runner.run(grid, fn, RunOptions{});
+
+  EXPECT_EQ(out.summary.corners, 6u);
+  EXPECT_EQ(out.summary.solver_failed, 2u);
+  EXPECT_EQ(out.summary.uncovered, 0u);  // casualties are NOT "uncovered"
+  EXPECT_EQ(out.summary.passed + out.summary.failed, 4u);
+  ASSERT_EQ(out.results.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto& r = out.results[i];
+    if (i == 1 || i == 4) {
+      EXPECT_TRUE(r.solver_failed);
+      EXPECT_EQ(r.failure_kind, "transient_divergence");
+      // The isolated record carries the corner identity the worker had.
+      EXPECT_NE(r.failure.find(grid.at(i).label()), std::string::npos);
+      EXPECT_TRUE(r.report.points.empty());
+    } else {
+      EXPECT_FALSE(r.solver_failed);
+      EXPECT_TRUE(r.failure.empty());
+    }
+  }
+
+  // Isolation is deterministic: any worker count sees the same casualties.
+  SweepRunner serial(1);
+  const auto ref = serial.run(grid, fn, RunOptions{});
+  EXPECT_TRUE(ref.summary == out.summary);
+
+  // Opting out restores the fail-fast contract. With two failing corners
+  // the pool may wrap the survivor exception in its suppression message,
+  // so catch the base type (SolveError IS-A runtime_error).
+  RunOptions strict;
+  strict.isolate_failures = false;
+  EXPECT_THROW(runner.run(grid, fn, strict), std::runtime_error);
+}
+
+TEST(SweepSummary, SolverFailuresAreClassifiedAndAttributedPerAxis) {
+  CornerAxes axes;
+  axes.vdd_scale = {0.9, 1.1};
+  axes.pattern_seed = {1, 2};
+  const CornerGrid grid(axes);
+  ASSERT_EQ(grid.size(), 4u);
+
+  std::vector<CornerResult> results(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    results[i].scenario = grid.at(i);
+    results[i].report = report_with_margin(1.0);
+  }
+  // Corner 2 = (seed=2, vdd=0.9): solver casualty. Corner 1 recovered
+  // after escalation. Corner 3 is a mask-coverage gap.
+  results[2].solver_failed = true;
+  results[2].failure_kind = "singular_system";
+  results[2].report = {};
+  results[1].recovered = true;
+  results[1].solve_attempts = 3;
+  results[3].report = report_with_margin(0.0, /*covered=*/false);
+
+  const auto s = summarize(grid, results);
+  EXPECT_EQ(s.corners, 4u);
+  EXPECT_EQ(s.solver_failed, 1u);
+  EXPECT_EQ(s.recovered, 1u);
+  EXPECT_EQ(s.uncovered, 1u);  // corner 3 only — the casualty is separate
+  EXPECT_EQ(s.passed, 2u);
+
+  const auto vdd_axis = static_cast<std::size_t>(AxisId::kVddScale);
+  const auto seed_axis = static_cast<std::size_t>(AxisId::kPatternSeed);
+  EXPECT_EQ(s.axis_solver_failed[vdd_axis][0], 1u);
+  EXPECT_EQ(s.axis_solver_failed[vdd_axis][1], 0u);
+  EXPECT_EQ(s.axis_solver_failed[seed_axis][0], 0u);
+  EXPECT_EQ(s.axis_solver_failed[seed_axis][1], 1u);
+
+  // The JSON summary carries the counts without disturbing the margins.
+  const auto j = summary_json(grid, s);
+  EXPECT_EQ(j.at("solver_failed").as_integer(), 1);
+  EXPECT_EQ(j.at("recovered").as_integer(), 1);
+  EXPECT_EQ(j.at("uncovered").as_integer(), 1);
+}
+
+// --------------------------------------------------- checkpoint journal
+
+TEST(SweepJournal, CornerEntryRoundTripsBitForBit) {
+  CornerAxes axes;
+  axes.pattern_seed = {1, 2};
+  const CornerGrid grid(axes);
+
+  CornerResult r;
+  r.scenario = grid.at(1);
+  r.report = report_with_margin(-1.0 / 3.0);  // not representable in %.9g
+  r.report.skipped_scan_points = 2;
+  r.streamed_record_bytes = 4096;
+  r.monolithic_record_bytes = 123456;
+  r.solve.total_newton_iters = 321;
+  r.solve.used_sparse = 1;
+  r.solve_attempts = 2;
+  r.recovered = true;
+
+  const auto entry = corner_journal_json(1, r);
+  std::size_t gidx = SIZE_MAX;
+  const CornerResult back = corner_from_journal(entry, gidx);
+  EXPECT_EQ(gidx, 1u);
+  EXPECT_EQ(back.solver_failed, r.solver_failed);
+  EXPECT_EQ(back.solve_attempts, 2);
+  EXPECT_TRUE(back.recovered);
+  // from_checkpoint is the RUNNER's flag for restored slots, not part of
+  // the journaled record (it is scheduling history, not corner data).
+  EXPECT_FALSE(back.from_checkpoint);
+  EXPECT_EQ(back.streamed_record_bytes, 4096u);
+  EXPECT_EQ(back.monolithic_record_bytes, 123456u);
+  EXPECT_EQ(back.solve.total_newton_iters, 321);
+  EXPECT_EQ(back.solve.used_sparse, 1);
+  // Bit-exact doubles: the whole point of the %.17g spelling.
+  ASSERT_EQ(back.report.points.size(), r.report.points.size());
+  EXPECT_EQ(back.report.worst_margin_db, r.report.worst_margin_db);
+  EXPECT_EQ(back.report.points[0].margin_db, r.report.points[0].margin_db);
+  EXPECT_EQ(back.report.skipped_scan_points, 2u);
+  EXPECT_EQ(back.report.pass, r.report.pass);
+
+  // A failed corner round-trips its failure record instead of a report.
+  CornerResult f;
+  f.scenario = grid.at(0);
+  f.solver_failed = true;
+  f.failure = "solve failed [kind=dc_divergence ...]";
+  f.failure_kind = "dc_divergence";
+  f.solve_attempts = 5;
+  std::size_t gf = 0;
+  const CornerResult fb = corner_from_journal(corner_journal_json(0, f), gf);
+  EXPECT_TRUE(fb.solver_failed);
+  EXPECT_EQ(fb.failure, f.failure);
+  EXPECT_EQ(fb.failure_kind, "dc_divergence");
+  EXPECT_EQ(fb.solve_attempts, 5);
+}
+
+TEST(SweepJournal, AbortedRunResumesToByteIdenticalReports) {
+  CornerAxes axes;
+  axes.vdd_scale = {0.9, 1.0, 1.1};
+  axes.pattern_seed = {1, 2, 3, 4};
+  const CornerGrid grid(axes);
+  ASSERT_EQ(grid.size(), 12u);
+
+  const auto fn = solve_faulty_corner({3, 7});
+  const std::string j_full = "test_sweep_journal_full.jsonl";
+  const std::string j_cut = "test_sweep_journal_cut.jsonl";
+  std::remove(j_full.c_str());
+  std::remove(j_cut.c_str());
+
+  // Reference: uninterrupted single-process run (journaling on, so the
+  // byte-identity claim covers the journaled path itself).
+  SweepRunner runner(3);
+  RunOptions opt;
+  opt.journal_path = j_full;
+  const auto ref = runner.run(grid, fn, opt);
+  EXPECT_EQ(ref.summary.corners, 12u);
+  EXPECT_EQ(ref.summary.solver_failed, 2u);
+  const auto full_entries = robust::load_journal(j_full);
+  ASSERT_EQ(full_entries.size(), 12u);
+
+  // Simulate a shard killed mid-run: keep only the first 5 journal lines
+  // (whatever order the workers finished them in).
+  {
+    std::ofstream cut(j_cut);
+    for (std::size_t i = 0; i < 5; ++i)
+      cut << robust::dump_line(full_entries[i]) << '\n';
+  }
+
+  // Resume over the truncated journal with a different worker count.
+  SweepRunner resumer(2);
+  RunOptions ropt;
+  ropt.journal_path = j_cut;
+  const auto res = resumer.run(grid, fn, ropt);
+
+  std::size_t restored = 0;
+  for (const auto& r : res.results) restored += r.from_checkpoint ? 1 : 0;
+  EXPECT_EQ(restored, 5u);
+
+  // The merged outcome is byte-identical to the uninterrupted run:
+  // summary JSON and every deterministic per-corner record.
+  EXPECT_TRUE(ref.summary == res.summary);
+  EXPECT_EQ(summary_json(grid, ref.summary).dump(2),
+            summary_json(grid, res.summary).dump(2));
+  ASSERT_EQ(ref.results.size(), res.results.size());
+  for (std::size_t i = 0; i < ref.results.size(); ++i)
+    EXPECT_EQ(corner_result_json(ref.results[i]).dump(2),
+              corner_result_json(res.results[i]).dump(2))
+        << "corner " << i;
+  // The resumed journal now also holds every corner.
+  EXPECT_EQ(robust::load_journal(j_cut).size(), 12u);
+
+  std::remove(j_full.c_str());
+  std::remove(j_cut.c_str());
+}
+
+TEST(SweepRunner, CooperativeStopAbortsJournalsAndResumes) {
+  CornerAxes axes;
+  axes.pattern_seed = {1, 2, 3, 4, 5, 6, 7, 8};
+  const CornerGrid grid(axes);
+
+  const std::string jpath = "test_sweep_journal_stop.jsonl";
+  std::remove(jpath.c_str());
+
+  std::atomic<bool> stop{false};
+  SweepRunner runner(2);
+  RunOptions opt;
+  opt.journal_path = jpath;
+  opt.stop = &stop;
+  opt.progress = [&](std::size_t done, std::size_t) {
+    if (done >= 3) stop.store(true);
+  };
+  EXPECT_THROW(runner.run(grid, rc_corner, opt), SweepAborted);
+
+  // Whatever finished before the abort is on disk, ready for a resume.
+  const auto entries = robust::load_journal(jpath);
+  EXPECT_GE(entries.size(), 3u);
+  EXPECT_LT(entries.size(), grid.size());
+
+  RunOptions ropt;
+  ropt.journal_path = jpath;
+  const auto res = runner.run(grid, rc_corner, ropt);
+  EXPECT_EQ(res.summary.corners, grid.size());
+
+  // Identical to a never-aborted, never-journaled run.
+  const auto ref = runner.run(grid, rc_corner);
+  EXPECT_TRUE(ref.summary == res.summary);
+
+  std::remove(jpath.c_str());
 }
 
 // ----------------------------------------------- engine workspace overload
