@@ -1,0 +1,276 @@
+#include "emc/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace emc::spec {
+
+const std::vector<double>& scan_trace(const EmiScan& scan, TraceSel trace) {
+  switch (trace) {
+    case TraceSel::kPeak: return scan.peak_dbuv;
+    case TraceSel::kQuasiPeak: return scan.quasi_peak_dbuv;
+    default: return scan.average_dbuv;
+  }
+}
+
+const char* trace_name(TraceSel trace) {
+  switch (trace) {
+    case TraceSel::kPeak: return "peak";
+    case TraceSel::kQuasiPeak: return "quasi_peak";
+    default: return "average";
+  }
+}
+
+namespace {
+
+/// One measured frequency with its mask margin (NaN when uncovered).
+struct Sample {
+  double peak = 0.0;
+  double qp = 0.0;
+  double avg = 0.0;
+  double margin = 0.0;
+  bool covered = false;
+};
+
+double level_of(const Sample& s, TraceSel t) {
+  switch (t) {
+    case TraceSel::kPeak: return s.peak;
+    case TraceSel::kQuasiPeak: return s.qp;
+    default: return s.avg;
+  }
+}
+
+/// Measurement front-end shared by all three stages: probes frequencies
+/// through the scanner's cached half-spectrum, deduplicates exact repeat
+/// frequencies (a bisection landing on an already-measured point costs
+/// nothing), and keeps the merged frequency-sorted sample set plus the
+/// zoom/reference/skipped accounting the final EmiScan reports.
+class Prober {
+ public:
+  Prober(EmiScanner& scanner, const ReceiverSettings& rx, const LimitMask& mask,
+         TraceSel trace)
+      : scanner_(scanner), rx_(rx), mask_(mask), trace_(trace) {}
+
+  /// Measure every frequency in `freqs` not yet sampled. Returns how many
+  /// detector passes were spent (Nyquist-skipped points are counted in
+  /// skipped(), not in passes).
+  std::size_t probe(std::span<const double> freqs) {
+    batch_.clear();
+    for (const double f : freqs)
+      if (!samples_.count(f)) batch_.push_back(f);
+    if (batch_.empty()) return 0;
+
+    const EmiScan scan = scanner_.measure(rx_, batch_);
+    zoom_ += scan.zoom_points;
+    reference_ += scan.reference_points;
+    skipped_ += scan.skipped_points;
+    for (std::size_t j = 0; j < scan.size(); ++j) {
+      Sample s;
+      s.peak = scan.peak_dbuv[j];
+      s.qp = scan.quasi_peak_dbuv[j];
+      s.avg = scan.average_dbuv[j];
+      s.covered = mask_.covers(scan.freq[j]);
+      s.margin = s.covered ? mask_.at(scan.freq[j]) - level_of(s, trace_) : 0.0;
+      samples_.emplace(scan.freq[j], s);
+    }
+    return scan.size();
+  }
+
+  /// Single-frequency probe; false when the point was Nyquist-skipped.
+  bool probe_one(double f, std::size_t* passes) {
+    const double one[1] = {f};
+    *passes += probe(one);
+    return samples_.count(f) != 0;
+  }
+
+  const std::map<double, Sample>& samples() const { return samples_; }
+  const Sample& at(double f) const { return samples_.at(f); }
+  std::size_t zoom() const { return zoom_; }
+  std::size_t reference() const { return reference_; }
+  std::size_t skipped() const { return skipped_; }
+
+ private:
+  EmiScanner& scanner_;
+  const ReceiverSettings& rx_;
+  const LimitMask& mask_;
+  TraceSel trace_;
+  std::map<double, Sample> samples_;  ///< keyed by exact frequency
+  std::vector<double> batch_;
+  std::size_t zoom_ = 0;
+  std::size_t reference_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+/// Covered (frequency, margin) view of the sample set, frequency-sorted.
+struct Pt {
+  double f = 0.0;
+  double m = 0.0;
+};
+
+std::vector<Pt> covered_points(const Prober& p) {
+  std::vector<Pt> out;
+  out.reserve(p.samples().size());
+  for (const auto& [f, s] : p.samples())
+    if (s.covered) out.push_back({f, s.margin});
+  return out;
+}
+
+/// Polish one interior local margin minimum bracketed by (x0, x1, x2) in
+/// x = ln f (m1 <= m0, m1 <= m2): parabolic vertex steps with a
+/// golden-section safeguard, stopping when the bracket is tighter than
+/// the frequency tolerance, the bracket's margin relief drops under the
+/// margin tolerance (a flat parabola has nothing left to give), or the
+/// refinement budget runs out.
+void polish_minimum(Prober& prober, double f0, double f1, double f2,
+                    const AdaptiveScanConfig& cfg, std::size_t* passes,
+                    std::size_t* budget) {
+  constexpr double kGolden = 0.381966011250105;  // 2 - phi
+  double x0 = std::log(f0), x1 = std::log(f1), x2 = std::log(f2);
+  double m0 = prober.at(f0).margin;
+  double m1 = prober.at(f1).margin;
+  double m2 = prober.at(f2).margin;
+  const double xtol = std::log1p(cfg.freq_tol_rel);
+
+  while (*budget > 0) {
+    if (x2 - x0 <= xtol) break;
+    if (std::max(m0, m2) - m1 <= cfg.margin_tol_db) break;
+
+    // Parabolic vertex through the three bracket points; fall back to a
+    // golden-section step into the larger half when the parabola is
+    // degenerate or its vertex leaves (or crowds the edge of) the bracket.
+    const double d01 = x1 - x0, d21 = x1 - x2;
+    const double num = d01 * d01 * (m1 - m2) - d21 * d21 * (m1 - m0);
+    const double den = d01 * (m1 - m2) - d21 * (m1 - m0);
+    double xv = 0.0;
+    bool ok = std::abs(den) > 1e-300;
+    if (ok) {
+      xv = x1 - 0.5 * num / den;
+      const double guard = 0.1 * std::min(x1 - x0, x2 - x1);
+      ok = xv > x0 + guard && xv < x2 - guard && std::abs(xv - x1) > 0.25 * xtol;
+    }
+    if (!ok)
+      xv = x2 - x1 > x1 - x0 ? x1 + kGolden * (x2 - x1) : x1 - kGolden * (x1 - x0);
+
+    const double fv = std::exp(xv);
+    --*budget;
+    if (!prober.probe_one(fv, passes)) break;
+    const Sample& sv = prober.at(fv);
+    if (!sv.covered) break;
+    const double mv = sv.margin;
+    if (xv < x1) {
+      if (mv <= m1) { x2 = x1; m2 = m1; x1 = xv; m1 = mv; }
+      else          { x0 = xv; m0 = mv; }
+    } else {
+      if (mv <= m1) { x0 = x1; m0 = m1; x1 = xv; m1 = mv; }
+      else          { x2 = xv; m2 = mv; }
+    }
+  }
+}
+
+}  // namespace
+
+CertifiedScan adaptive_scan(EmiScanner& scanner, const sig::Waveform& w,
+                            const ReceiverSettings& rx, const LimitMask& mask,
+                            TraceSel trace, const AdaptiveScanConfig& cfg,
+                            std::string what) {
+  static const obs::Counter c_runs("spec.adaptive.runs");
+  static const obs::Counter c_refined("spec.adaptive.refined_points");
+  static const obs::Counter c_crossings("spec.adaptive.crossings");
+  static const obs::Counter c_passes("spec.adaptive.detector_passes");
+  obs::Span span("adaptive_scan");
+
+  if (!(rx.f_start > 0.0 && rx.f_stop > rx.f_start))
+    throw std::invalid_argument("adaptive_scan: bad frequency span");
+
+  CertifiedScan out;
+  scanner.load_record(w);
+  Prober prober(scanner, rx, mask, trace);
+
+  // Stage 1: coarse log-grid pass.
+  const std::size_t np = std::max<std::size_t>(2, cfg.coarse_points);
+  out.coarse_points = prober.probe(make_log_grid(rx.f_start, rx.f_stop, np));
+  out.detector_passes = out.coarse_points;
+
+  std::size_t budget = cfg.max_refined_points;
+
+  // Stage 2: polish interior local worst-margin minima near the mask.
+  // Endpoint minima need no refinement — the band edges are measured
+  // exactly, and the minimum over the span is then that edge value.
+  {
+    const std::vector<Pt> pts = covered_points(prober);
+    std::vector<std::size_t> minima;
+    for (std::size_t i = 1; i + 1 < pts.size(); ++i) {
+      const double ml = pts[i - 1].m, mc = pts[i].m, mr = pts[i + 1].m;
+      const bool is_min = (mc <= ml && mc < mr) || (mc < ml && mc <= mr);
+      if (is_min && mc <= cfg.refine_margin_window_db) minima.push_back(i);
+    }
+    for (const std::size_t i : minima)
+      polish_minimum(prober, pts[i - 1].f, pts[i].f, pts[i + 1].f, cfg,
+                     &out.detector_passes, &budget);
+  }
+
+  // Stage 3: certify every mask crossing. Detection runs on the merged
+  // (coarse + polished) set, so a violation first exposed by stage-2
+  // polishing gets bracketed too.
+  {
+    const std::vector<Pt> pts = covered_points(prober);
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+      Pt lo = pts[i], hi = pts[i + 1];
+      const auto passes_mask = [](const Pt& p) { return p.m >= 0.0; };
+      if (passes_mask(lo) == passes_mask(hi)) continue;
+
+      // Log-frequency bisection, keeping the bracket's verdicts opposite.
+      while (budget > 0 && hi.f - lo.f > cfg.freq_tol_rel * std::sqrt(lo.f * hi.f)) {
+        const double fm = std::sqrt(lo.f * hi.f);
+        if (!(fm > lo.f && fm < hi.f)) break;  // double-precision floor
+        --budget;
+        if (!prober.probe_one(fm, &out.detector_passes)) break;
+        const Sample& sm = prober.at(fm);
+        if (!sm.covered) break;
+        const Pt mid{fm, sm.margin};
+        if (passes_mask(mid) == passes_mask(lo)) lo = mid; else hi = mid;
+      }
+
+      MaskCrossing x;
+      x.entering = passes_mask(lo);
+      x.f_pass = x.entering ? lo.f : hi.f;
+      x.f_fail = x.entering ? hi.f : lo.f;
+      // Log-linear interpolated zero of the margin across the bracket.
+      const double xl = std::log(lo.f), xh = std::log(hi.f);
+      const double t = lo.m / (lo.m - hi.m);
+      x.f_cross = std::exp(xl + t * (xh - xl));
+      out.crossings.push_back(x);
+    }
+  }
+
+  // Merge every measured point, frequency-sorted, into the final scan.
+  EmiScan& scan = out.scan;
+  scan.receiver = rx.name;
+  for (const auto& [f, s] : prober.samples()) {
+    scan.freq.push_back(f);
+    scan.peak_dbuv.push_back(s.peak);
+    scan.quasi_peak_dbuv.push_back(s.qp);
+    scan.average_dbuv.push_back(s.avg);
+  }
+  scan.zoom_points = prober.zoom();
+  scan.reference_points = prober.reference();
+  scan.skipped_points = prober.skipped();
+  out.refined_points = out.detector_passes - out.coarse_points;
+  scan.refined_points = out.refined_points;
+
+  out.report = check_compliance(scan.freq, scan_trace(scan, trace), mask,
+                                std::move(what), scan.skipped_points);
+
+  c_runs.add();
+  c_refined.add(out.refined_points);
+  c_crossings.add(out.crossings.size());
+  c_passes.add(out.detector_passes);
+  return out;
+}
+
+}  // namespace emc::spec

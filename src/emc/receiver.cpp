@@ -172,24 +172,33 @@ void EmiScanner::demod_zoom_block(const ScanCtx& c, const PointTask* tasks,
   }
 }
 
-EmiScan EmiScanner::scan(const sig::Waveform& w, const ReceiverSettings& s) {
-  static const obs::Counter c_scans("spec.scan.runs");
-  static const obs::Counter c_zoom("spec.scan.zoom_points");
-  static const obs::Counter c_ref("spec.scan.reference_points");
-  static const obs::Counter c_skipped("spec.scan.skipped_points");
-  obs::Span span("scan");
+std::vector<double> make_log_grid(double f_lo, double f_hi, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_log_grid: need at least one point");
+  if (!(f_lo > 0.0)) throw std::invalid_argument("make_log_grid: f_lo must be positive");
+  if (!(f_hi >= f_lo)) throw std::invalid_argument("make_log_grid: f_hi must be >= f_lo");
+  if (n == 1 || f_lo == f_hi) return {f_lo};
 
+  std::vector<double> grid;
+  grid.reserve(n);
+  const double lg0 = std::log(f_lo);
+  const double lg1 = std::log(f_hi);
+  for (std::size_t p = 0; p < n; ++p) {
+    // Exact endpoints (exp(log(x)) need not round-trip, and downstream
+    // mask checks treat band edges as inclusive).
+    const double fc =
+        p == 0 ? f_lo
+        : p == n - 1
+            ? f_hi
+            : std::exp(lg0 +
+                       (lg1 - lg0) * static_cast<double>(p) / static_cast<double>(n - 1));
+    grid.push_back(fc);
+  }
+  return grid;
+}
+
+void EmiScanner::load_record(const sig::Waveform& w) {
   const std::size_t n = w.size();
   if (n < 4) throw std::invalid_argument("emi_scan: record too short");
-  if (!(s.f_start > 0.0 && s.f_stop > s.f_start))
-    throw std::invalid_argument("emi_scan: bad frequency span");
-  if (!(s.rbw > 0.0)) throw std::invalid_argument("emi_scan: RBW must be positive");
-  if (!(s.tau_charge > 0.0 && s.tau_discharge > 0.0))
-    throw std::invalid_argument("emi_scan: QP time constants must be positive");
-
-  const double fs = 1.0 / w.dt();
-  const double f_nyq = fs / 2.0;
-  const double df = fs / static_cast<double>(n);
 
   // One real-input forward transform of the record; each scan point reads
   // its bins from the half-spectrum. The plan survives across scan()
@@ -197,6 +206,35 @@ EmiScan EmiScanner::scan(const sig::Waveform& w, const ReceiverSettings& s) {
   // sweep) plan once.
   if (!plan_ || plan_->size() != n) plan_.emplace(n);
   plan_->forward_real(w.samples(), spectrum_);
+  rec_n_ = n;
+  rec_dt_ = w.dt();
+}
+
+EmiScan EmiScanner::scan(const sig::Waveform& w, const ReceiverSettings& s) {
+  if (w.size() < 4) throw std::invalid_argument("emi_scan: record too short");
+  if (!(s.f_start > 0.0 && s.f_stop > s.f_start))
+    throw std::invalid_argument("emi_scan: bad frequency span");
+  load_record(w);
+  return measure(s, make_log_grid(s.f_start, s.f_stop,
+                                  std::max<std::size_t>(2, s.n_points)));
+}
+
+EmiScan EmiScanner::measure(const ReceiverSettings& s, std::span<const double> freqs) {
+  static const obs::Counter c_scans("spec.scan.runs");
+  static const obs::Counter c_zoom("spec.scan.zoom_points");
+  static const obs::Counter c_ref("spec.scan.reference_points");
+  static const obs::Counter c_skipped("spec.scan.skipped_points");
+  obs::Span span("scan");
+
+  if (!has_record()) throw std::invalid_argument("emi_scan: no record loaded");
+  if (!(s.rbw > 0.0)) throw std::invalid_argument("emi_scan: RBW must be positive");
+  if (!(s.tau_charge > 0.0 && s.tau_discharge > 0.0))
+    throw std::invalid_argument("emi_scan: QP time constants must be positive");
+
+  const std::size_t n = rec_n_;
+  const double fs = 1.0 / rec_dt_;
+  const double f_nyq = fs / 2.0;
+  const double df = fs / static_cast<double>(n);
 
   // Gaussian RBW filter, -6 dB (amplitude 1/2) at +-rbw/2 off the carrier.
   const double half = s.rbw / 2.0;
@@ -216,31 +254,22 @@ EmiScan EmiScanner::scan(const sig::Waveform& w, const ReceiverSettings& s) {
   c.n = n;
   c.df = df;
   c.alpha = alpha;
-  c.kc = std::exp(-w.dt() / s.tau_charge);
-  c.kd = std::exp(-w.dt() / s.tau_discharge);
+  c.kc = std::exp(-rec_dt_ / s.tau_charge);
+  c.kd = std::exp(-rec_dt_ / s.tau_discharge);
 
   EmiScan out;
   out.receiver = s.name;
-  const std::size_t np = std::max<std::size_t>(2, s.n_points);
-  const double lg0 = std::log(s.f_start);
-  const double lg1 = std::log(s.f_stop);
 
   tasks_.clear();
-  tasks_.reserve(np);
-  for (std::size_t p = 0; p < np; ++p) {
-    // Exact endpoints (exp(log(x)) need not round-trip, and downstream
-    // mask checks treat band edges as inclusive).
-    const double fc =
-        p == 0 ? s.f_start
-        : p == np - 1
-            ? s.f_stop
-            : std::exp(lg0 +
-                       (lg1 - lg0) * static_cast<double>(p) / static_cast<double>(np - 1));
+  tasks_.reserve(freqs.size());
+  for (const double fc : freqs) {
+    if (!(fc > 0.0))
+      throw std::invalid_argument("emi_scan: scan frequency must be positive");
     if (fc >= f_nyq) {
-      // Scan frequencies increase monotonically: every remaining point is
-      // above Nyquist too. Record the truncation instead of hiding it.
-      out.skipped_points = np - p;
-      break;
+      // At or above the record's Nyquist rate: the point cannot be
+      // measured. Record the truncation instead of hiding it.
+      ++out.skipped_points;
+      continue;
     }
     PointTask t;
     t.fc = fc;

@@ -20,6 +20,7 @@
 #include <complex>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -78,8 +79,22 @@ struct EmiScan {
   std::size_t zoom_points = 0;
   std::size_t reference_points = 0;
 
+  /// Points added by adaptive refinement (crossing bisection / minimum
+  /// polishing) rather than the initial grid. EmiScanner::measure leaves
+  /// this at 0; AdaptiveScanner sets it on the merged scan it emits.
+  std::size_t refined_points = 0;
+
   std::size_t size() const { return freq.size(); }
 };
+
+/// The log-spaced scan grid every fixed receiver pass uses: exact
+/// endpoints (exp(log(x)) need not round-trip, and downstream mask checks
+/// treat band edges as inclusive), interior points spaced uniformly in
+/// log f. f_lo == f_hi collapses to the single point {f_lo} regardless of
+/// `n`; n == 1 yields {f_lo}. Throws std::invalid_argument on n == 0,
+/// f_lo <= 0 or f_hi < f_lo. Bit-identical to the grid EmiScanner::scan
+/// lays out (it calls this helper).
+std::vector<double> make_log_grid(double f_lo, double f_hi, std::size_t n);
 
 /// Reusable swept-measurement engine for batched receiver runs. One
 /// scanner keeps the FFT plans and all transform/envelope buffers alive
@@ -96,7 +111,24 @@ class EmiScanner {
   /// Throws std::invalid_argument when the record is too short to resolve
   /// the requested RBW (duration must be at least ~1/(4.8*rbw), or every
   /// detector could silently read the noise floor).
+  /// Equivalent to load_record(w) + measure(s, make_log_grid(...)).
   EmiScan scan(const sig::Waveform& w, const ReceiverSettings& s);
+
+  /// Forward-transform the record once and cache its half-spectrum. Every
+  /// subsequent measure() call reuses it, so an adaptive scan pays the
+  /// O(n log n) transform once and each refined point costs only a
+  /// zoom-IFFT gather + detector pass. Throws when the record is shorter
+  /// than 4 samples.
+  void load_record(const sig::Waveform& w);
+  bool has_record() const { return rec_n_ >= 4; }
+
+  /// Measure the loaded record at explicit scan frequencies (need not be
+  /// log-spaced; order is preserved in the output). Frequencies at or
+  /// above the record's Nyquist rate are dropped and counted in
+  /// EmiScan::skipped_points. `s.f_start/f_stop/n_points` are ignored —
+  /// only the RBW, detector time constants and demodulation method apply.
+  /// Throws when no record is loaded or a frequency is non-positive.
+  EmiScan measure(const ReceiverSettings& s, std::span<const double> freqs);
 
  private:
   /// One scan point: its carrier and the occupied bin range (inclusive;
@@ -131,6 +163,8 @@ class EmiScanner {
 
   std::optional<FftPlan> plan_;
   std::vector<std::complex<double>> spectrum_;  ///< n/2+1 bins of the record
+  std::size_t rec_n_ = 0;   ///< loaded record length (0 = none)
+  double rec_dt_ = 0.0;     ///< loaded record sample interval [s]
   std::vector<PointTask> tasks_;    ///< per-scan point list, reused across calls
   std::vector<Readings> readings_;  ///< per-scan detector outputs, reused
 

@@ -151,7 +151,8 @@ Json merge_sweep_summary(const std::vector<const Json*>& vals) {
                                        const std::vector<const Json*>& fv) -> Json {
     if (key == "corners" || key == "passed" || key == "failed" ||
         key == "uncovered" || key == "truncated" || key == "solver_failed" ||
-        key == "recovered")
+        key == "recovered" || key == "scan_detector_passes" ||
+        key == "scan_refined_points" || key == "scan_crossings")
       return sum_integers(fv, key.c_str());
     if (key == "worst_margin_db" || key == "worst_corner" || key == "worst_label") {
       // Copied verbatim from the winning document so numeric formatting

@@ -94,19 +94,46 @@ std::unique_ptr<CornerTransient> build_emission_transient(const EmissionSweepCon
   return out;
 }
 
+spec::TraceSel detector_trace(Detector d) {
+  switch (d) {
+    case Detector::kPeak: return spec::TraceSel::kPeak;
+    case Detector::kQuasiPeak: return spec::TraceSel::kQuasiPeak;
+    default: return spec::TraceSel::kAverage;
+  }
+}
+
 /// Supply scaling + receiver scan + mask check of one steady record: the
 /// post-transient tail of the corner pipeline, pure in (record, scenario).
+/// `counts` receives the corner's scan accounting (detector passes spent,
+/// adaptive refined points, certified crossings).
 spec::ComplianceReport post_process_corner(const EmissionSweepConfig& cfg,
                                            const Scenario& sc,
                                            const sig::Waveform& steady_record,
-                                           spec::EmiScanner& scanner) {
+                                           spec::EmiScanner& scanner,
+                                           ScanCounts& counts) {
   // First-order supply corner: emission levels scale ~linearly with VDD.
   sig::Waveform record = steady_record;
   record *= sc.vdd_scale;
 
   spec::ReceiverSettings rx = cfg.rx;
   rx.rbw = sc.rbw;
+  counts = ScanCounts{};
+
+  if (cfg.scan_plan == spec::ScanPlan::kAdaptive) {
+    // Coarse pass + certified refinement: the crossing brackets are
+    // already folded into the merged scan, so the report flows through
+    // the same check_compliance machinery as the fixed plan.
+    const spec::CertifiedScan cs =
+        spec::adaptive_scan(scanner, record, rx, cfg.mask, detector_trace(sc.detector),
+                            cfg.adaptive, sc.label());
+    counts.refined_points = cs.refined_points;
+    counts.detector_passes = cs.detector_passes;
+    counts.crossings = cs.crossings.size();
+    return cs.report;
+  }
+
   const auto scan = scanner.scan(record, rx);
+  counts.detector_passes = scan.size();
   const std::vector<double>* trace = nullptr;
   switch (sc.detector) {
     case Detector::kPeak: trace = &scan.peak_dbuv; break;
@@ -179,6 +206,9 @@ SweepSummary summarize_shard(const CornerGrid& grid, std::span<const CornerResul
     }
     if (r.recovered) ++s.recovered;
     if (rep.skipped_scan_points > 0) ++s.truncated;
+    s.scan_detector_passes += r.scan.detector_passes;
+    s.scan_refined_points += r.scan.refined_points;
+    s.scan_crossings += r.scan.crossings;
     // Memory footprints count for every corner that ran, covered or not.
     s.peak_streamed_record_bytes =
         std::max(s.peak_streamed_record_bytes, r.streamed_record_bytes);
@@ -323,6 +353,9 @@ SweepOutcome SweepRunner::run(const CornerGrid& grid, const CornerFn& fn,
           slot.transient_reused = ws.memo_hit;
           slot.solve_attempts = std::max(1, ws.memo_attempts);
           slot.recovered = ws.memo_recovered;
+          // Scan accounting is per corner, not per memo: the corner
+          // function overwrites ws.scan on every call.
+          slot.scan = ws.scan;
         }
         slot.worker = worker;
         slot.wall_s =
@@ -387,6 +420,9 @@ obs::Json corner_journal_json(std::size_t grid_index, const CornerResult& r) {
   o.set("attempts", obs::Json::integer(r.solve_attempts));
   o.set("recovered", obs::Json::boolean(r.recovered));
   o.set("reused", obs::Json::boolean(r.transient_reused));
+  o.set("scan_passes", obs::Json::integer(static_cast<long>(r.scan.detector_passes)));
+  o.set("scan_refined", obs::Json::integer(static_cast<long>(r.scan.refined_points)));
+  o.set("scan_crossings", obs::Json::integer(static_cast<long>(r.scan.crossings)));
   o.set("streamed_bytes",
         obs::Json::integer(static_cast<long>(r.streamed_record_bytes)));
   o.set("monolithic_bytes",
@@ -430,6 +466,14 @@ CornerResult corner_from_journal(const obs::Json& entry, std::size_t& grid_index
   r.solve_attempts = static_cast<int>(entry.at("attempts").as_integer());
   r.recovered = entry.at("recovered").as_bool();
   r.transient_reused = entry.at("reused").as_bool();
+  // Scan accounting entered the journal after the first release of the
+  // format; entries without the keys (older journals) restore as zero.
+  if (const obs::Json* v = entry.find("scan_passes"))
+    r.scan.detector_passes = static_cast<std::size_t>(v->as_integer());
+  if (const obs::Json* v = entry.find("scan_refined"))
+    r.scan.refined_points = static_cast<std::size_t>(v->as_integer());
+  if (const obs::Json* v = entry.find("scan_crossings"))
+    r.scan.crossings = static_cast<std::size_t>(v->as_integer());
   r.streamed_record_bytes =
       static_cast<std::size_t>(entry.at("streamed_bytes").as_integer());
   r.monolithic_record_bytes =
@@ -477,6 +521,8 @@ obs::Json corner_result_json(const CornerResult& r) {
   if (!r.report.points.empty())
     o.set("worst_margin_db", obs::Json::number(r.report.worst_margin_db));
   o.set("skipped", obs::Json::integer(static_cast<long>(r.report.skipped_scan_points)));
+  o.set("scan_passes", obs::Json::integer(static_cast<long>(r.scan.detector_passes)));
+  o.set("scan_refined", obs::Json::integer(static_cast<long>(r.scan.refined_points)));
   o.set("streamed_bytes",
         obs::Json::integer(static_cast<long>(r.streamed_record_bytes)));
   return o;
@@ -545,26 +591,20 @@ CornerFn make_emission_corner_fn(const EmissionSweepConfig& cfg) {
       ws.memo_key = std::move(memo_key);
     }
 
-    return post_process_corner(cfg, sc, ws.memo_record, ws.scanner);
+    return post_process_corner(cfg, sc, ws.memo_record, ws.scanner, ws.scan);
   };
 }
 
-SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
-                                      const CornerGrid& grid, std::size_t max_lanes,
-                                      const MarginHistogram& histogram_spec,
-                                      LaneSweepInfo* info) {
-  validate_emission_config(cfg, "run_emission_sweep_lanes");
-  if (cfg.solver == ckt::SolverKind::kDense)
-    throw std::invalid_argument("run_emission_sweep_lanes: lane batching is sparse-only");
-  if (max_lanes == 0)
-    throw std::invalid_argument("run_emission_sweep_lanes: max_lanes must be >= 1");
+namespace {
 
-  static const obs::Counter c_sweeps("sweep.runs");
-  static const obs::Counter c_corners("sweep.corners");
-  obs::Span span("sweep");
-  c_sweeps.add();
-  c_corners.add(grid.size());
-
+/// Lane-batched evaluation of `corner_list` (grid indices, ascending):
+/// the grouping / lockstep-batching / demotion engine shared by
+/// run_emission_sweep_lanes (whole grid) and refine_emission_sweep_lanes
+/// (only the corners an axis subdivision added). Results land in the
+/// matching results[index] slots; other slots are untouched.
+void run_lanes_over(const EmissionSweepConfig& cfg, const CornerGrid& grid,
+                    std::span<const std::size_t> corner_list, std::size_t max_lanes,
+                    std::vector<CornerResult>& results, LaneSweepInfo& acc) {
   // One transient group per distinct memo key: the same unit of work the
   // scalar runner's record memo deduplicates. Keys repeat only in
   // contiguous runs (post-processing axes vary fastest in grid order).
@@ -574,18 +614,15 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
     std::vector<std::size_t> corners;    ///< grid indices sharing the record
   };
   std::vector<Group> groups;
-  for (std::size_t i = 0; i < grid.size(); ++i) {
+  for (const std::size_t i : corner_list) {
     std::string key = emission_memo_key(grid.at(i));
     if (groups.empty() || groups.back().key != key)
       groups.push_back(Group{std::move(key), i, {}});
     groups.back().corners.push_back(i);
   }
 
-  SweepOutcome out;
-  out.results.resize(grid.size());
   spec::EmiScanner scanner;
   ckt::LaneWorkspace lw;
-  LaneSweepInfo acc;
 
   std::size_t g0 = 0;
   while (g0 < groups.size()) {
@@ -695,7 +732,7 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
 
       for (std::size_t idx : groups[g0 + l].corners) {
         obs::Span corner_span("corner");
-        CornerResult& slot = out.results[idx];
+        CornerResult& slot = results[idx];
         slot.scenario = grid.at(idx);
         if (lane_error) {
           const robust::SolveError wrapped =
@@ -707,7 +744,7 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
           slot.transient_reused = idx != groups[g0 + l].first;
           continue;
         }
-        slot.report = post_process_corner(cfg, slot.scenario, steady, scanner);
+        slot.report = post_process_corner(cfg, slot.scenario, steady, scanner, slot.scan);
         slot.streamed_record_bytes = streamed_bytes;
         slot.monolithic_record_bytes = monolithic_bytes;
         // Lane semantics match the scalar runner: every corner of a group
@@ -723,12 +760,283 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     for (std::size_t l = 0; l < L; ++l)
       for (std::size_t idx : groups[g0 + l].corners)
-        out.results[idx].wall_s = batch_wall / static_cast<double>(batch_corners);
+        results[idx].wall_s = batch_wall / static_cast<double>(batch_corners);
 
     g0 = g1;
   }
+}
+
+void validate_lane_config(const EmissionSweepConfig& cfg, std::size_t max_lanes,
+                          const char* who) {
+  validate_emission_config(cfg, who);
+  if (cfg.solver == ckt::SolverKind::kDense)
+    throw std::invalid_argument(std::string(who) + ": lane batching is sparse-only");
+  if (max_lanes == 0)
+    throw std::invalid_argument(std::string(who) + ": max_lanes must be >= 1");
+}
+
+}  // namespace
+
+SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
+                                      const CornerGrid& grid, std::size_t max_lanes,
+                                      const MarginHistogram& histogram_spec,
+                                      LaneSweepInfo* info) {
+  validate_lane_config(cfg, max_lanes, "run_emission_sweep_lanes");
+
+  static const obs::Counter c_sweeps("sweep.runs");
+  static const obs::Counter c_corners("sweep.corners");
+  obs::Span span("sweep");
+  c_sweeps.add();
+  c_corners.add(grid.size());
+
+  SweepOutcome out;
+  out.results.resize(grid.size());
+  std::vector<std::size_t> all(grid.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  LaneSweepInfo acc;
+  run_lanes_over(cfg, grid, all, max_lanes, out.results, acc);
 
   out.summary = summarize(grid, out.results, histogram_spec);
+  if (info) *info = acc;
+  return out;
+}
+
+namespace {
+
+/// The axes refinement can subdivide: positive numeric quantities whose
+/// values live in a CornerAxes vector of doubles. Pattern seed and
+/// detector are categorical — there is nothing "between" two seeds.
+const std::vector<double>* numeric_axis_values(const CornerAxes& axes, AxisId a) {
+  switch (a) {
+    case AxisId::kLineLength: return &axes.line_length;
+    case AxisId::kLoadC: return &axes.load_c;
+    case AxisId::kRbw: return &axes.rbw;
+    case AxisId::kVddScale: return &axes.vdd_scale;
+    default: return nullptr;
+  }
+}
+
+std::vector<double>* numeric_axis_values(CornerAxes& axes, AxisId a) {
+  return const_cast<std::vector<double>*>(
+      numeric_axis_values(static_cast<const CornerAxes&>(axes), a));
+}
+
+/// new-coordinate -> old-coordinate map of one refined axis; SIZE_MAX
+/// marks inserted values. Original values survive apply_refinement
+/// verbatim, so exact double equality identifies them.
+std::vector<std::size_t> old_coord_map(const std::vector<double>& old_vals,
+                                       const std::vector<double>& new_vals) {
+  std::vector<std::size_t> map(new_vals.size(), SIZE_MAX);
+  std::size_t o = 0;
+  for (std::size_t k = 0; k < new_vals.size(); ++k)
+    if (o < old_vals.size() && new_vals[k] == old_vals[o]) {
+      map[k] = o;
+      ++o;
+    }
+  if (o != old_vals.size())
+    throw std::invalid_argument("refine: refined axis does not extend the prior axis");
+  return map;
+}
+
+/// Grid index from per-axis coordinates (inverse of CornerGrid::at's
+/// mixed-radix decode: axis 0 is the slowest-varying digit).
+std::size_t encode_index(const CornerGrid& grid, const std::size_t coord[kNumAxes]) {
+  std::size_t idx = 0;
+  for (std::size_t a = 0; a < kNumAxes; ++a)
+    idx = idx * grid.axis_size(static_cast<AxisId>(a)) + coord[a];
+  return idx;
+}
+
+/// Shared carry-over stage of the two refinement drivers: compute the
+/// plan, build the refined grid, copy every prior corner's result into
+/// its slot on the refined grid (result bits untouched; only the decoded
+/// Scenario is re-derived) and return the indices still needing
+/// evaluation, ascending.
+std::vector<std::size_t> carry_over_refinement(const CornerGrid& grid,
+                                               const SweepOutcome& prior,
+                                               RefineOutcome& out) {
+  if (prior.results.size() != grid.size())
+    throw std::invalid_argument("refine: prior outcome must cover the whole grid");
+
+  out.plan = plan_axis_refinement(grid, prior.summary);
+  out.grid = CornerGrid(apply_refinement(grid.axes(), out.plan));
+  out.outcome = SweepOutcome{};
+  out.outcome.results.resize(out.grid.size());
+  out.reused = 0;
+  out.evaluated = 0;
+
+  std::vector<std::vector<std::size_t>> maps(kNumAxes);
+  for (std::size_t a = 0; a < kNumAxes; ++a) {
+    const auto axis = static_cast<AxisId>(a);
+    if (const std::vector<double>* nv = numeric_axis_values(out.grid.axes(), axis)) {
+      maps[a] = old_coord_map(*numeric_axis_values(grid.axes(), axis), *nv);
+    } else {
+      maps[a].resize(out.grid.axis_size(axis));  // categorical: identity
+      for (std::size_t k = 0; k < maps[a].size(); ++k) maps[a][k] = k;
+    }
+  }
+
+  std::vector<std::size_t> fresh;
+  for (std::size_t i = 0; i < out.grid.size(); ++i) {
+    const Scenario sc = out.grid.at(i);
+    std::size_t old_coord[kNumAxes];
+    bool carried = true;
+    for (std::size_t a = 0; a < kNumAxes && carried; ++a) {
+      old_coord[a] = maps[a][sc.coord[a]];
+      carried = old_coord[a] != SIZE_MAX;
+    }
+    if (carried) {
+      CornerResult& slot = out.outcome.results[i];
+      slot = prior.results[encode_index(grid, old_coord)];
+      slot.scenario = sc;
+      ++out.reused;
+    } else {
+      fresh.push_back(i);
+    }
+  }
+  out.evaluated = fresh.size();
+  return fresh;
+}
+
+}  // namespace
+
+std::vector<AxisInsertion> plan_axis_refinement(const CornerGrid& grid,
+                                                const SweepSummary& summary) {
+  if (summary.axis_worst.size() != kNumAxes)
+    throw std::invalid_argument("plan_axis_refinement: summary has no axis table");
+
+  std::vector<AxisInsertion> plan;
+  for (std::size_t a = 0; a < kNumAxes; ++a) {
+    const auto axis = static_cast<AxisId>(a);
+    const std::vector<double>* vals = numeric_axis_values(grid.axes(), axis);
+    if (!vals || vals->size() < 2) continue;
+    const std::vector<double>& worst = summary.axis_worst[a];
+    if (worst.size() != vals->size())
+      throw std::invalid_argument("plan_axis_refinement: summary/grid shape mismatch");
+    for (std::size_t k = 0; k + 1 < vals->size(); ++k) {
+      const double m0 = worst[k], m1 = worst[k + 1];
+      // Values no covered corner hit (+inf sentinel) never form a
+      // boundary: there is no verdict to flip.
+      if (!std::isfinite(m0) || !std::isfinite(m1)) continue;
+      if ((m0 >= 0.0) == (m1 >= 0.0)) continue;
+      const double v0 = (*vals)[k], v1 = (*vals)[k + 1];
+      const double mid =
+          v0 > 0.0 && v1 > 0.0 ? std::sqrt(v0 * v1) : 0.5 * (v0 + v1);
+      if (mid == v0 || mid == v1) continue;  // axis already at double resolution
+      plan.push_back(AxisInsertion{axis, k, mid});
+    }
+  }
+  return plan;
+}
+
+CornerAxes apply_refinement(const CornerAxes& axes,
+                            std::span<const AxisInsertion> plan) {
+  CornerAxes out = axes;
+  for (std::size_t a = 0; a < kNumAxes; ++a) {
+    const auto axis = static_cast<AxisId>(a);
+    std::vector<const AxisInsertion*> ins;
+    for (const AxisInsertion& x : plan)
+      if (x.axis == axis) ins.push_back(&x);
+    if (ins.empty()) continue;
+    std::vector<double>* vals = numeric_axis_values(out, axis);
+    if (!vals)
+      throw std::invalid_argument("apply_refinement: categorical axis in plan");
+    // Insert from the highest index down: plan indices refer to the
+    // original axis, so earlier insertions must not shift later ones.
+    std::sort(ins.begin(), ins.end(),
+              [](const AxisInsertion* p, const AxisInsertion* q) {
+                return p->after > q->after;
+              });
+    for (const AxisInsertion* x : ins) {
+      if (x->after + 1 > vals->size())
+        throw std::invalid_argument("apply_refinement: insertion outside axis");
+      vals->insert(vals->begin() + static_cast<std::ptrdiff_t>(x->after) + 1,
+                   x->value);
+    }
+  }
+  return out;
+}
+
+RefineOutcome SweepRunner::refine(const CornerGrid& grid, const SweepOutcome& prior,
+                                  const CornerFn& fn, const RunOptions& opt) {
+  static const obs::Counter c_refines("sweep.refine.runs");
+  static const obs::Counter c_reused("sweep.refine.corners_reused");
+  static const obs::Counter c_evaluated("sweep.refine.corners_evaluated");
+  obs::Span span("sweep_refine");
+
+  RefineOutcome out;
+  const std::vector<std::size_t> fresh = carry_over_refinement(grid, prior, out);
+  c_refines.add();
+  c_reused.add(out.reused);
+  c_evaluated.add(out.evaluated);
+
+  pool_.reset_worker_stats();
+  pool_.parallel_for(
+      fresh.size(),
+      [&](std::size_t fi, std::size_t worker) {
+        // Same evaluation core as run(), minus journaling/abort: fresh
+        // corners are claimed in grid order, so chunks of them sharing a
+        // transient still hit the worker memo.
+        obs::Span corner_span("corner");
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::size_t index = fresh[fi];
+        CornerResult& slot = out.outcome.results[index];
+        slot.scenario = out.grid.at(index);
+        Workspace& ws = workspaces_[worker];
+        bool corner_ok = true;
+        if (opt.isolate_failures) {
+          try {
+            slot.report = fn(slot.scenario, ws);
+          } catch (const robust::SolveError& e) {
+            corner_ok = false;
+            const robust::SolveError wrapped =
+                robust::with_corner(e, slot.scenario.label(), index);
+            slot.solver_failed = true;
+            slot.failure = wrapped.what();
+            slot.failure_kind = robust::failure_kind_name(wrapped.info().kind);
+            slot.solve_attempts = std::max(1, wrapped.info().attempts);
+          }
+        } else {
+          slot.report = fn(slot.scenario, ws);
+        }
+        if (corner_ok) {
+          slot.streamed_record_bytes = ws.memo_streamed_bytes;
+          slot.monolithic_record_bytes = ws.memo_monolithic_bytes;
+          slot.solve = ws.memo_solve;
+          slot.transient_reused = ws.memo_hit;
+          slot.solve_attempts = std::max(1, ws.memo_attempts);
+          slot.recovered = ws.memo_recovered;
+          slot.scan = ws.scan;
+        }
+        slot.worker = worker;
+        slot.wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+      },
+      opt.chunk);
+
+  out.outcome.workers = pool_.worker_stats();
+  out.outcome.summary = summarize(out.grid, out.outcome.results, opt.histogram);
+  return out;
+}
+
+RefineOutcome refine_emission_sweep_lanes(const EmissionSweepConfig& cfg,
+                                          const CornerGrid& grid,
+                                          const SweepOutcome& prior,
+                                          std::size_t max_lanes,
+                                          const MarginHistogram& histogram_spec,
+                                          LaneSweepInfo* info) {
+  validate_lane_config(cfg, max_lanes, "refine_emission_sweep_lanes");
+  obs::Span span("sweep_refine");
+
+  RefineOutcome out;
+  const std::vector<std::size_t> fresh = carry_over_refinement(grid, prior, out);
+
+  LaneSweepInfo acc;
+  run_lanes_over(cfg, out.grid, fresh, max_lanes, out.outcome.results, acc);
+
+  out.outcome.summary = summarize(out.grid, out.outcome.results, histogram_spec);
   if (info) *info = acc;
   return out;
 }
@@ -754,6 +1062,11 @@ obs::Json summary_json(const CornerGrid& grid, const SweepSummary& s) {
   o.set("truncated", obs::Json::integer(static_cast<long>(s.truncated)));
   o.set("solver_failed", obs::Json::integer(static_cast<long>(s.solver_failed)));
   o.set("recovered", obs::Json::integer(static_cast<long>(s.recovered)));
+  o.set("scan_detector_passes",
+        obs::Json::integer(static_cast<long>(s.scan_detector_passes)));
+  o.set("scan_refined_points",
+        obs::Json::integer(static_cast<long>(s.scan_refined_points)));
+  o.set("scan_crossings", obs::Json::integer(static_cast<long>(s.scan_crossings)));
   o.set("worst_margin_db", margin_json(s.worst_margin_db));
   if (s.passed + s.failed > 0) {
     o.set("worst_corner", obs::Json::integer(static_cast<long>(s.worst_corner)));

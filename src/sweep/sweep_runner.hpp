@@ -22,6 +22,7 @@
 #include "circuit/engine.hpp"
 #include "circuit/tline.hpp"
 #include "core/driver_model.hpp"
+#include "emc/adaptive.hpp"
 #include "emc/limits.hpp"
 #include "emc/receiver.hpp"
 #include "obs/json.hpp"
@@ -42,11 +43,32 @@ namespace emc::sweep {
 /// a pure function of the key — so memoization cannot perturb the sweep's
 /// determinism contract. Corners sharing a key are adjacent in grid order
 /// (see AxisId); claim them as one chunk to make the memo hit.
+/// Receiver-scan accounting of one corner: how many detector passes its
+/// scan spent, how many of them were adaptive refinement, and how many
+/// mask crossings were certified. A pure function of the scenario (the
+/// scan depends on the full corner, not just the transient memo key), so
+/// it rides the summary without perturbing the determinism contract.
+/// Fixed-plan corners report their grid size as detector_passes with
+/// refined_points == 0.
+struct ScanCounts {
+  std::size_t refined_points = 0;
+  std::size_t detector_passes = 0;
+  std::size_t crossings = 0;
+
+  bool operator==(const ScanCounts&) const = default;
+};
+
 struct Workspace {
   ckt::NewtonWorkspace newton;
   spec::EmiScanner scanner;
   std::string memo_key;
   sig::Waveform memo_record;
+
+  /// Scan accounting of the last corner evaluated, overwritten by the
+  /// corner function on every call (NOT memo state: post-processing axes
+  /// change the scan under one memo key). SweepRunner copies it into the
+  /// CornerResult after the corner function returns.
+  ScanCounts scan;
 
   /// Transient-record memory of the corner that produced memo_record,
   /// filled by the corner function alongside the memo (pure functions of
@@ -111,6 +133,11 @@ struct CornerResult {
   int solve_attempts = 1;
   bool recovered = false;
 
+  /// Receiver-scan accounting (detector passes / refined points /
+  /// certified crossings). Deterministic per scenario; all zero for
+  /// solver casualties.
+  ScanCounts scan;
+
   /// Slot restored from a checkpoint journal instead of being evaluated
   /// (wall_s/worker are zero for such corners — they ran in a prior
   /// process). Scheduling-dependent, never journaled or summarized.
@@ -147,6 +174,13 @@ struct SweepSummary {
   std::size_t solver_failed = 0;
   /// Corners whose solve succeeded only after ladder escalation.
   std::size_t recovered = 0;
+
+  /// Summed receiver-scan accounting over the corners that ran: total
+  /// detector passes, adaptive refined points, and certified mask
+  /// crossings (all zero on fixed-plan sweeps except detector_passes).
+  std::size_t scan_detector_passes = 0;
+  std::size_t scan_refined_points = 0;
+  std::size_t scan_crossings = 0;
 
   /// Min over covered corners; +infinity when every corner was uncovered
   /// (so "nothing scored" can never read as a genuine 0.0 dB margin).
@@ -262,6 +296,44 @@ struct RunOptions {
   const std::atomic<bool>* stop = nullptr;
 };
 
+/// One scenario-axis subdivision: insert `value` into axis `axis` after
+/// its value index `after` (indices refer to the grid the plan was
+/// computed from). Values are geometric midpoints — the axes the planner
+/// refines are positive physical quantities swept log-like.
+struct AxisInsertion {
+  AxisId axis = AxisId::kLineLength;
+  std::size_t after = 0;
+  double value = 0.0;
+
+  bool operator==(const AxisInsertion&) const = default;
+};
+
+/// Scenario-axis refinement plan from a finished sweep's worst-margin
+/// table: for every numeric axis (line length, load, RBW, supply scale)
+/// whose per-value worst margins flip between pass (>= 0 dB) and fail,
+/// subdivide that pass/fail boundary with the geometric midpoint of the
+/// two axis values. Values with no covered corner (+inf sentinel) never
+/// form a boundary. Deterministic: a pure function of (grid, summary).
+std::vector<AxisInsertion> plan_axis_refinement(const CornerGrid& grid,
+                                                const SweepSummary& summary);
+
+/// Apply a refinement plan to the axes that produced it: each insertion
+/// lands after its `after` index, keeping the axis sorted as given.
+CornerAxes apply_refinement(const CornerAxes& axes,
+                            std::span<const AxisInsertion> plan);
+
+/// Result of one refinement stage: the subdivided grid, a full
+/// SweepOutcome over it (carried-over corners keep their prior results
+/// bit-for-bit; only corners touching an inserted axis value were
+/// evaluated), and the plan that produced it.
+struct RefineOutcome {
+  CornerGrid grid{CornerAxes{}};  ///< placeholder until a driver fills it
+  SweepOutcome outcome;
+  std::vector<AxisInsertion> plan;
+  std::size_t reused = 0;     ///< corners copied from the prior outcome
+  std::size_t evaluated = 0;  ///< corners newly evaluated
+};
+
 /// Owns the thread pool and one Workspace per worker.
 class SweepRunner {
  public:
@@ -288,6 +360,19 @@ class SweepRunner {
   /// Same run with the full option set: failure isolation, checkpoint
   /// journal + resume, cooperative abort. See RunOptions.
   SweepOutcome run(const CornerGrid& grid, const CornerFn& fn, const RunOptions& opt);
+
+  /// Scenario-axis refinement stage: subdivide `grid`'s axes around the
+  /// pass/fail boundaries in `prior.summary` (plan_axis_refinement),
+  /// carry every prior corner's result over to the refined grid
+  /// unchanged, and evaluate only the corners touching an inserted axis
+  /// value through `fn` (worker memos apply — new corners are claimed in
+  /// grid order, so runs sharing a transient still hit). `prior` must be
+  /// a whole-grid outcome (results.size() == grid.size()); journaling and
+  /// abort are not supported here (opt.journal_path/stop are ignored).
+  /// An empty plan returns the prior outcome re-labelled on a copy of the
+  /// grid. Deterministic for any worker count, like run().
+  RefineOutcome refine(const CornerGrid& grid, const SweepOutcome& prior,
+                       const CornerFn& fn, const RunOptions& opt = {});
 
  private:
   ThreadPool pool_;
@@ -361,6 +446,15 @@ struct EmissionSweepConfig {
   /// forced off internally: the engine step is pinned to the macromodel's
   /// sampling time Ts, so the "dt/2" stage runs as a plain re-attempt.
   robust::RetryPolicy retry;
+
+  /// How each corner lays out its receiver scan: kFixed runs the classic
+  /// rx.n_points log grid; kAdaptive runs the coarse-pass + certified
+  /// refinement planner (spec::adaptive_scan) under `adaptive`, spending
+  /// detector passes only where the spectrum approaches or crosses the
+  /// mask. Both are pure per scenario, so either keeps the sweep's
+  /// determinism contract.
+  spec::ScanPlan scan_plan = spec::ScanPlan::kFixed;
+  spec::AdaptiveScanConfig adaptive;
 };
 
 /// Build the corner function running the full pipeline:
@@ -429,5 +523,18 @@ SweepOutcome run_emission_sweep_lanes(const EmissionSweepConfig& cfg,
                                       std::size_t max_lanes = 4,
                                       const MarginHistogram& histogram_spec = {},
                                       LaneSweepInfo* info = nullptr);
+
+/// Lane-batched counterpart of SweepRunner::refine: subdivide the grid's
+/// axes around the pass/fail boundaries of `prior.summary`, carry prior
+/// corners over unchanged, and advance only the new corners through the
+/// lane-batched transient engine (new corners sharing topology are
+/// batched exactly like a fresh lane sweep). Same config restrictions as
+/// run_emission_sweep_lanes; `prior` must be a whole-grid outcome.
+RefineOutcome refine_emission_sweep_lanes(const EmissionSweepConfig& cfg,
+                                          const CornerGrid& grid,
+                                          const SweepOutcome& prior,
+                                          std::size_t max_lanes = 4,
+                                          const MarginHistogram& histogram_spec = {},
+                                          LaneSweepInfo* info = nullptr);
 
 }  // namespace emc::sweep

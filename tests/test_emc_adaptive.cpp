@@ -1,0 +1,255 @@
+// Adaptive mask-driven scanning: property-style agreement with a dense
+// fixed reference scan on the worst margin and the crossing frequencies,
+// certification semantics of the (pass, fail) brackets, and the
+// no-refinement fast path on comfortably compliant records.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "emc/adaptive.hpp"
+#include "emc/limits.hpp"
+#include "emc/receiver.hpp"
+#include "signal/sources.hpp"
+#include "signal/waveform.hpp"
+
+using namespace emc;
+
+namespace {
+
+/// Busy deterministic record: nine harmonics of a 1 MHz carrier with slow
+/// amplitude modulation plus LCG noise. Scanned with an RBW well above
+/// the 1 MHz harmonic spacing the detector trace is a smooth envelope —
+/// which is what makes a dense fixed grid a trustworthy ground truth for
+/// the worst margin (its quantization error shrinks quadratically in the
+/// grid step).
+sig::Waveform busy_record(std::size_t n, double fs) {
+  sig::Lcg rng(77);
+  std::vector<double> y(n);
+  const double dt = 1.0 / fs;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    double v = 0.0;
+    for (int h = 1; h <= 9; ++h)
+      v += (1.0 / h) * std::sin(2.0 * std::numbers::pi * 1e6 * h * t + 0.3 * h);
+    v *= 1.0 + 0.4 * std::sin(2.0 * std::numbers::pi * 40e3 * t);
+    v += 0.01 * (rng.uniform() * 2.0 - 1.0);
+    y[k] = v;
+  }
+  return {0.0, dt, std::move(y)};
+}
+
+spec::ReceiverSettings smooth_rx(double rbw) {
+  spec::ReceiverSettings s;
+  s.name = "adaptive-test";
+  s.f_start = 200e3;
+  s.f_stop = 10e6;
+  s.n_points = 25;  // ignored by the adaptive planner (cfg.coarse_points)
+  s.rbw = rbw;
+  s.tau_charge = 2e-6;
+  s.tau_discharge = 60e-6;
+  return s;
+}
+
+spec::LimitMask flat_mask(double level_dbuv) {
+  return spec::LimitMask{"flat", {{200e3, level_dbuv}, {10e6, level_dbuv}}};
+}
+
+/// Margin of the scan's selected trace at an exactly-measured frequency.
+double margin_at(const spec::CertifiedScan& cs, const spec::LimitMask& mask,
+                 spec::TraceSel trace, double f) {
+  const auto& freq = cs.scan.freq;
+  const auto it = std::find(freq.begin(), freq.end(), f);
+  EXPECT_NE(it, freq.end()) << "certificate frequency was never measured: " << f;
+  const std::size_t k = static_cast<std::size_t>(it - freq.begin());
+  return mask.at(f) - spec::scan_trace(cs.scan, trace)[k];
+}
+
+/// Sign changes of (limit - level) across a dense scan: the ground-truth
+/// crossing list the certificates are checked against. Returns the
+/// bracketing dense-grid intervals.
+std::vector<std::pair<double, double>> dense_crossings(const spec::EmiScan& scan,
+                                                       const std::vector<double>& trace,
+                                                       const spec::LimitMask& mask) {
+  std::vector<std::pair<double, double>> out;
+  for (std::size_t k = 0; k + 1 < scan.size(); ++k) {
+    const double m0 = mask.at(scan.freq[k]) - trace[k];
+    const double m1 = mask.at(scan.freq[k + 1]) - trace[k + 1];
+    if ((m0 >= 0.0) != (m1 >= 0.0)) out.emplace_back(scan.freq[k], scan.freq[k + 1]);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(AdaptiveScan, AgreesWithDenseReferenceAcrossCorners) {
+  const auto w = busy_record(4096, 64e6);
+  spec::EmiScanner scanner;
+
+  for (const double rbw : {1.5e6, 2.5e6}) {
+    for (const spec::TraceSel trace :
+         {spec::TraceSel::kQuasiPeak, spec::TraceSel::kAverage}) {
+      const auto rx = smooth_rx(rbw);
+
+      // Dense fixed reference: 16x the adaptive coarse grid (the satellite
+      // requires >= 8x).
+      auto dense_rx = rx;
+      dense_rx.n_points = 400;
+      const auto dense = spec::emi_scan(w, dense_rx);
+      const auto& dense_trace = spec::scan_trace(dense, trace);
+
+      // Mask through the middle of the trace's range: guaranteed crossings.
+      const auto [lo_it, hi_it] =
+          std::minmax_element(dense_trace.begin(), dense_trace.end());
+      const auto mask = flat_mask(0.5 * (*lo_it + *hi_it));
+      const auto dense_rep =
+          spec::check_compliance(dense.freq, dense_trace, mask, "dense");
+
+      spec::AdaptiveScanConfig cfg;
+      cfg.coarse_points = 25;
+      cfg.freq_tol_rel = 5e-4;
+      cfg.margin_tol_db = 0.005;
+      cfg.refine_margin_window_db = std::numeric_limits<double>::infinity();
+      const auto cs = spec::adaptive_scan(scanner, w, rx, mask, trace, cfg, "adaptive");
+
+      // Worst margin within 0.02 dB of the dense ground truth.
+      ASSERT_FALSE(cs.report.points.empty());
+      ASSERT_FALSE(dense_rep.points.empty());
+      EXPECT_NEAR(cs.report.worst_margin_db, dense_rep.worst_margin_db, 0.02)
+          << "rbw=" << rbw << " trace=" << spec::trace_name(trace);
+
+      // Same crossing structure as the dense reference, and every
+      // certificate's crossing estimate lands inside (or within one
+      // tolerance of) a dense sign-change interval.
+      const auto truth = dense_crossings(dense, dense_trace, mask);
+      ASSERT_GE(truth.size(), 1u);
+      EXPECT_EQ(cs.crossings.size(), truth.size())
+          << "rbw=" << rbw << " trace=" << spec::trace_name(trace);
+      for (const auto& x : cs.crossings) {
+        // Certified bracket: both endpoints measured, verdicts opposite,
+        // width within the configured tolerance of the crossing.
+        EXPECT_GE(margin_at(cs, mask, trace, x.f_pass), 0.0);
+        EXPECT_LT(margin_at(cs, mask, trace, x.f_fail), 0.0);
+        EXPECT_LE(std::abs(x.f_fail - x.f_pass), cfg.freq_tol_rel * x.f_cross * 1.01);
+        EXPECT_GE(x.f_cross, std::min(x.f_pass, x.f_fail));
+        EXPECT_LE(x.f_cross, std::max(x.f_pass, x.f_fail));
+
+        const bool near_truth = std::any_of(
+            truth.begin(), truth.end(), [&](const std::pair<double, double>& iv) {
+              const double slack = cfg.freq_tol_rel * x.f_cross;
+              return x.f_cross >= iv.first - slack && x.f_cross <= iv.second + slack;
+            });
+        EXPECT_TRUE(near_truth) << "crossing at " << x.f_cross
+                                << " has no dense counterpart";
+      }
+    }
+  }
+}
+
+TEST(AdaptiveScan, FullyCompliantRecordTakesNoRefinement) {
+  const auto w = busy_record(4096, 64e6);
+  spec::EmiScanner scanner;
+  const auto rx = smooth_rx(2e6);
+
+  // Mask 30 dB above the trace's maximum: every margin is far outside the
+  // default 10 dB refinement window, so the planner must spend exactly
+  // the coarse pass and certify zero crossings.
+  auto dense_rx = rx;
+  dense_rx.n_points = 400;
+  const auto dense = spec::emi_scan(w, dense_rx);
+  const double peak =
+      *std::max_element(dense.quasi_peak_dbuv.begin(), dense.quasi_peak_dbuv.end());
+
+  spec::AdaptiveScanConfig cfg;
+  cfg.coarse_points = 25;
+  const auto cs = spec::adaptive_scan(scanner, w, rx, flat_mask(peak + 30.0),
+                                      spec::TraceSel::kQuasiPeak, cfg, "compliant");
+  EXPECT_TRUE(cs.report.pass);
+  EXPECT_TRUE(cs.crossings.empty());
+  EXPECT_EQ(cs.refined_points, 0u);
+  EXPECT_EQ(cs.scan.refined_points, 0u);
+  EXPECT_EQ(cs.detector_passes, cs.coarse_points);
+  EXPECT_EQ(cs.coarse_points, 25u);
+}
+
+TEST(AdaptiveScan, CrossingExactlyOnACoarseGridPoint) {
+  const auto w = busy_record(4096, 64e6);
+  const auto rx = smooth_rx(2e6);
+
+  // Pin the mask to the exact level of an interior coarse-grid point: the
+  // margin there is exactly 0.0 (a pass — band edges of the violation),
+  // the canonical degenerate bracket input.
+  const auto grid = spec::make_log_grid(rx.f_start, rx.f_stop, 25);
+  spec::EmiScanner probe;
+  probe.load_record(w);
+  const double f_pin = grid[10];
+  const double pin[1] = {f_pin};
+  const auto at_pin = probe.measure(rx, pin);
+  ASSERT_EQ(at_pin.size(), 1u);
+  const auto mask = flat_mask(at_pin.quasi_peak_dbuv[0]);
+
+  spec::EmiScanner scanner;
+  spec::AdaptiveScanConfig cfg;
+  cfg.coarse_points = 25;
+  cfg.refine_margin_window_db = std::numeric_limits<double>::infinity();
+  const auto cs = spec::adaptive_scan(scanner, w, rx, mask,
+                                      spec::TraceSel::kQuasiPeak, cfg, "pinned");
+
+  // The pinned point reads margin exactly 0 in the merged scan.
+  EXPECT_EQ(margin_at(cs, mask, spec::TraceSel::kQuasiPeak, f_pin), 0.0);
+  // Somewhere the trace must dip below the pinned level, so at least one
+  // crossing is certified, and every certificate keeps its semantics
+  // (pass side >= 0, fail side < 0, tight bracket).
+  ASSERT_GE(cs.crossings.size(), 1u);
+  for (const auto& x : cs.crossings) {
+    EXPECT_GE(margin_at(cs, mask, spec::TraceSel::kQuasiPeak, x.f_pass), 0.0);
+    EXPECT_LT(margin_at(cs, mask, spec::TraceSel::kQuasiPeak, x.f_fail), 0.0);
+    EXPECT_LE(std::abs(x.f_fail - x.f_pass), cfg.freq_tol_rel * x.f_cross * 1.01);
+  }
+  EXPECT_FALSE(cs.report.pass);  // part of the span is below the pinned level
+}
+
+TEST(AdaptiveScan, MergedScanIsSortedAndCountsAdd) {
+  const auto w = busy_record(4096, 64e6);
+  spec::EmiScanner scanner;
+  const auto rx = smooth_rx(1.5e6);
+
+  auto dense_rx = rx;
+  dense_rx.n_points = 200;
+  const auto dense = spec::emi_scan(w, dense_rx);
+  const auto [lo_it, hi_it] =
+      std::minmax_element(dense.quasi_peak_dbuv.begin(), dense.quasi_peak_dbuv.end());
+  const auto mask = flat_mask(0.5 * (*lo_it + *hi_it));
+
+  spec::AdaptiveScanConfig cfg;
+  cfg.coarse_points = 25;
+  cfg.refine_margin_window_db = std::numeric_limits<double>::infinity();
+  const auto cs = spec::adaptive_scan(scanner, w, rx, mask,
+                                      spec::TraceSel::kQuasiPeak, cfg, "counts");
+
+  EXPECT_TRUE(std::is_sorted(cs.scan.freq.begin(), cs.scan.freq.end()));
+  EXPECT_EQ(cs.scan.size(), cs.coarse_points + cs.refined_points);
+  EXPECT_EQ(cs.detector_passes, cs.coarse_points + cs.refined_points);
+  EXPECT_GT(cs.refined_points, 0u);
+  EXPECT_EQ(cs.scan.refined_points, cs.refined_points);
+  EXPECT_EQ(cs.scan.zoom_points + cs.scan.reference_points, cs.scan.size());
+  EXPECT_EQ(cs.scan.skipped_points, 0u);
+
+  // Determinism: the same inputs reproduce the identical certificate.
+  spec::EmiScanner scanner2;
+  const auto cs2 = spec::adaptive_scan(scanner2, w, rx, mask,
+                                       spec::TraceSel::kQuasiPeak, cfg, "counts");
+  ASSERT_EQ(cs2.scan.freq.size(), cs.scan.freq.size());
+  for (std::size_t k = 0; k < cs.scan.freq.size(); ++k)
+    EXPECT_EQ(cs.scan.freq[k], cs2.scan.freq[k]);
+  EXPECT_EQ(cs.report.worst_margin_db, cs2.report.worst_margin_db);
+  ASSERT_EQ(cs.crossings.size(), cs2.crossings.size());
+  for (std::size_t k = 0; k < cs.crossings.size(); ++k) {
+    EXPECT_EQ(cs.crossings[k].f_pass, cs2.crossings[k].f_pass);
+    EXPECT_EQ(cs.crossings[k].f_fail, cs2.crossings[k].f_fail);
+  }
+}

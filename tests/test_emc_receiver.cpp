@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 #include <vector>
 
 #include "emc/limits.hpp"
@@ -144,4 +145,99 @@ TEST(EmiScanTruncation, ComplianceReportSurfacesTruncatedScans) {
   const auto merged = spec::merge_reports(both, "merged");
   EXPECT_EQ(merged.skipped_scan_points, scan.skipped_points);
   EXPECT_NE(merged.summary().find("TRUNCATED SCAN"), std::string::npos);
+}
+
+TEST(LogGrid, MatchesTheFixedScanGridBitForBit) {
+  // scan() now lays its grid out through make_log_grid; the helper must
+  // reproduce the frequencies a scan reports exactly (mask checks treat
+  // band edges as inclusive, so even the endpoints must be bit-equal).
+  const auto w = busy_record(4096, 64e6);
+  const auto rx = busy_rx(200e3, spec::ScanMethod::kAuto);
+  const auto scan = spec::emi_scan(w, rx);
+  const auto grid = spec::make_log_grid(rx.f_start, rx.f_stop, rx.n_points);
+  ASSERT_EQ(scan.size(), grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) EXPECT_EQ(scan.freq[k], grid[k]);
+  EXPECT_EQ(grid.front(), rx.f_start);
+  EXPECT_EQ(grid.back(), rx.f_stop);
+}
+
+TEST(LogGrid, EdgeCases) {
+  // Single point.
+  const auto one = spec::make_log_grid(1e6, 2e6, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 1e6);
+
+  // f_lo == f_hi collapses to one point regardless of n.
+  const auto flat = spec::make_log_grid(5e6, 5e6, 40);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat[0], 5e6);
+
+  EXPECT_THROW(spec::make_log_grid(1e6, 2e6, 0), std::invalid_argument);
+  EXPECT_THROW(spec::make_log_grid(0.0, 2e6, 10), std::invalid_argument);
+  EXPECT_THROW(spec::make_log_grid(-1.0, 2e6, 10), std::invalid_argument);
+  EXPECT_THROW(spec::make_log_grid(2e6, 1e6, 10), std::invalid_argument);
+
+  // A grid reaching above the record's Nyquist rate feeds measure(),
+  // which drops and counts the unmeasurable points.
+  const auto w = busy_record(4096, 64e6);  // Nyquist 32 MHz
+  spec::EmiScanner scanner;
+  scanner.load_record(w);
+  const auto grid = spec::make_log_grid(1e6, 100e6, 16);
+  const auto scan = scanner.measure(busy_rx(200e3, spec::ScanMethod::kAuto), grid);
+  EXPECT_GT(scan.skipped_points, 0u);
+  EXPECT_EQ(scan.size() + scan.skipped_points, 16u);
+}
+
+TEST(EmiScanCounts, PerScanDemodulationCountsAreSurfaced) {
+  const auto w = busy_record(4096, 64e6);
+
+  // Forced reference: every measured point is a reference point.
+  const auto ref = spec::emi_scan(w, busy_rx(200e3, spec::ScanMethod::kReference));
+  EXPECT_EQ(ref.reference_points, ref.size());
+  EXPECT_EQ(ref.zoom_points, 0u);
+  EXPECT_EQ(ref.refined_points, 0u);
+
+  // Forced zoom on a narrow RBW: every point with an occupied bin zooms.
+  const auto zoom = spec::emi_scan(w, busy_rx(200e3, spec::ScanMethod::kZoom));
+  EXPECT_EQ(zoom.zoom_points + zoom.reference_points, zoom.size());
+  EXPECT_GT(zoom.zoom_points, 0u);
+  EXPECT_EQ(zoom.reference_points, 0u);
+
+  // Auto on a huge RBW falls back to the reference path (no decimation
+  // to be had when the occupied band spans the whole half-spectrum).
+  const auto wide = spec::emi_scan(w, busy_rx(40e6, spec::ScanMethod::kAuto));
+  EXPECT_GT(wide.reference_points, 0u);
+  EXPECT_EQ(wide.zoom_points + wide.reference_points, wide.size());
+}
+
+TEST(EmiScanCounts, MeasureReusesTheLoadedRecord) {
+  const auto w = busy_record(4096, 64e6);
+  const auto rx = busy_rx(200e3, spec::ScanMethod::kAuto);
+
+  // load_record once + measure on the scan grid == scan() bit-for-bit.
+  spec::EmiScanner a;
+  spec::EmiScanner b;
+  const auto whole = a.scan(w, rx);
+  b.load_record(w);
+  const auto parts =
+      b.measure(rx, spec::make_log_grid(rx.f_start, rx.f_stop, rx.n_points));
+  ASSERT_EQ(whole.size(), parts.size());
+  for (std::size_t k = 0; k < whole.size(); ++k) {
+    EXPECT_EQ(whole.freq[k], parts.freq[k]);
+    EXPECT_EQ(whole.peak_dbuv[k], parts.peak_dbuv[k]);
+    EXPECT_EQ(whole.quasi_peak_dbuv[k], parts.quasi_peak_dbuv[k]);
+    EXPECT_EQ(whole.average_dbuv[k], parts.average_dbuv[k]);
+  }
+
+  // Point-at-a-time probing reads the same values as the whole grid.
+  for (std::size_t k = 0; k < whole.size(); k += 7) {
+    const double f[1] = {whole.freq[k]};
+    const auto one = b.measure(rx, f);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one.quasi_peak_dbuv[0], whole.quasi_peak_dbuv[k]);
+  }
+
+  spec::EmiScanner empty;
+  const double f[1] = {1e6};
+  EXPECT_THROW(empty.measure(rx, f), std::invalid_argument);
 }
